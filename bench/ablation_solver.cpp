@@ -1,0 +1,69 @@
+// Ablation — eigenvector (power) vs linear-system (Jacobi) route to
+// the SourceRank vector (Sec. 3.4 / the Gleich et al. reference): both
+// must produce the same ranking; compare iterations and wall time to
+// the paper's 1e-9 L2 tolerance, plus the page-level PageRank cost.
+#include "bench/common.hpp"
+#include "core/source_graph.hpp"
+#include "metrics/ranking.hpp"
+#include "rank/gauss_seidel.hpp"
+#include "rank/push.hpp"
+#include "rank/solvers.hpp"
+
+namespace srsr::bench {
+namespace {
+
+void run() {
+  TextTable t({"Dataset", "Matrix", "Solver", "Iterations", "Seconds",
+               "Kendall tau vs power"});
+  for (const auto which : all_datasets()) {
+    const auto corpus = make_dataset(which);
+    const core::SourceMap map = core::SourceMap::from_corpus(corpus);
+    const core::SourceGraph sg(corpus.pages, map);
+    const auto tprime = sg.consensus_matrix(true);
+    rank::SolverConfig sc;
+    sc.alpha = kAlpha;
+    sc.convergence = paper_convergence();
+
+    const auto power = rank::power_solve(tprime, sc);
+    const auto jacobi = rank::jacobi_solve(tprime, sc);
+    const auto gs = rank::gauss_seidel_solve(tprime, sc);
+    rank::PushConfig pc;
+    pc.alpha = kAlpha;
+    pc.epsilon = 1e-9 / static_cast<f64>(tprime.num_rows());
+    const auto push = rank::push_solve(tprime, pc);
+    t.add_row({graph::dataset_name(which), "T' (sources)", "power",
+               TextTable::num(power.iterations),
+               TextTable::fixed(power.seconds, 3), "1.000"});
+    t.add_row({graph::dataset_name(which), "T' (sources)", "jacobi",
+               TextTable::num(jacobi.iterations),
+               TextTable::fixed(jacobi.seconds, 3),
+               TextTable::fixed(
+                   metrics::kendall_tau(power.scores, jacobi.scores), 4)});
+    t.add_row({graph::dataset_name(which), "T' (sources)", "gauss-seidel",
+               TextTable::num(gs.iterations), TextTable::fixed(gs.seconds, 3),
+               TextTable::fixed(
+                   metrics::kendall_tau(power.scores, gs.scores), 4)});
+    t.add_row(
+        {graph::dataset_name(which), "T' (sources)",
+         "push (pushes/n)",
+         TextTable::num(push.pushes / tprime.num_rows()),
+         TextTable::fixed(push.seconds, 3),
+         TextTable::fixed(metrics::kendall_tau(power.scores, push.scores),
+                          4)});
+
+    const auto pr = rank::pagerank(corpus.pages, paper_pagerank_config());
+    t.add_row({graph::dataset_name(which), "M (pages)", "power",
+               TextTable::num(pr.iterations), TextTable::fixed(pr.seconds, 3),
+               "-"});
+  }
+  emit("Ablation: solver route to the stationary vector (tolerance 1e-9 L2)",
+       "ablation_solver", t);
+}
+
+}  // namespace
+}  // namespace srsr::bench
+
+int main() {
+  srsr::bench::run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Ablation — source-consensus (T') vs uniform (T) edge weighting under
+// hijacking (DESIGN.md Sec. 5).
+//
+// Sec. 3.2's claim: consensus weighting "places the burden on the
+// hijacker to capture MANY pages within a legitimate source". We build
+// a victim source with 100 pages (well intra-linked, one legitimate
+// external citation) and hijack an increasing number of its pages with
+// links to a spam source, then report the transition weight
+// w(victim, spam) under both weightings and the resulting SRSR score
+// amplification of the spam source.
+#include "bench/common.hpp"
+#include "core/source_graph.hpp"
+#include "graph/builder.hpp"
+#include "rank/solvers.hpp"
+
+namespace srsr::bench {
+namespace {
+
+constexpr u32 kVictimPages = 100;
+
+/// Corpus: victim source 0 (kVictimPages pages, ring-linked), legit
+/// source 1 (cited by every victim page), spam source 2 (1 page).
+/// `hijacked` victim pages additionally link to the spam page.
+graph::WebCorpus build(u32 hijacked) {
+  graph::WebCorpus c;
+  const NodeId np = kVictimPages + 2;
+  c.page_source.assign(np, 0);
+  c.page_source[kVictimPages] = 1;
+  c.page_source[kVictimPages + 1] = 2;
+  c.source_hosts = {"victim.example", "legit.example", "spam.example"};
+  c.source_is_spam = {0, 0, 1};
+  c.source_page_count = {kVictimPages, 1, 1};
+  c.source_first_page = {0, kVictimPages, kVictimPages + 1};
+  graph::GraphBuilder b(np);
+  for (NodeId p = 0; p < kVictimPages; ++p) {
+    b.add_edge(p, (p + 1) % kVictimPages);
+    b.add_edge(p, kVictimPages);  // legit citation
+  }
+  for (u32 h = 0; h < hijacked; ++h) b.add_edge(h, kVictimPages + 1);
+  c.pages = b.build();
+  return c;
+}
+
+f64 spam_score(const graph::WebCorpus& corpus, core::EdgeWeighting w) {
+  core::SrsrConfig cfg = paper_srsr_config();
+  cfg.weighting = w;
+  const core::SourceMap map = core::SourceMap::from_corpus(corpus);
+  const core::SpamResilientSourceRank model(corpus.pages, map, cfg);
+  return model.rank_baseline().scores[2];
+}
+
+void run() {
+  TextTable t({"Hijacked pages", "w(victim,spam) uniform",
+               "w(victim,spam) consensus", "Spam score amp (uniform)",
+               "Spam score amp (consensus)"});
+  const auto clean = build(0);
+  const f64 base_uniform = spam_score(clean, core::EdgeWeighting::kUniform);
+  const f64 base_consensus =
+      spam_score(clean, core::EdgeWeighting::kConsensus);
+  for (const u32 h : {1u, 2u, 5u, 10u, 25u, 50u, 100u}) {
+    const auto corpus = build(h);
+    const core::SourceMap map = core::SourceMap::from_corpus(corpus);
+    const core::SourceGraph sg(corpus.pages, map);
+    const auto uniform = sg.uniform_matrix(true);
+    const auto consensus = sg.consensus_matrix(true);
+    t.add_row({
+        TextTable::num(h),
+        TextTable::fixed(uniform.weight(0, 2), 3),
+        TextTable::fixed(consensus.weight(0, 2), 3),
+        TextTable::fixed(
+            spam_score(corpus, core::EdgeWeighting::kUniform) / base_uniform,
+            2),
+        TextTable::fixed(spam_score(corpus, core::EdgeWeighting::kConsensus) /
+                             base_consensus,
+                         2),
+    });
+  }
+  emit(
+      "Ablation: hijack resistance of consensus vs uniform source-edge "
+      "weighting (victim source has 100 pages)",
+      "ablation_weighting", t);
+}
+
+}  // namespace
+}  // namespace srsr::bench
+
+int main() {
+  srsr::bench::run();
+  return 0;
+}

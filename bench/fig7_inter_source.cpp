@@ -1,0 +1,13 @@
+// Figure 7 — "PageRank vs. Spam-Resilient SourceRank: Inter-Source
+// Manipulation" over the three datasets: the farm pages live in a
+// colluding source and point at a target page in a different source.
+// See manipulation.hpp for the protocol. Paper shape: PageRank again
+// jumps dramatically; SRSR is impacted far less.
+#include "bench/manipulation.hpp"
+
+int main() {
+  for (const auto which : srsr::bench::all_datasets())
+    srsr::bench::run_manipulation_experiment(which, /*cross=*/true,
+                                             /*seed=*/701);
+  return 0;
+}

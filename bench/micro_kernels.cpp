@@ -1,0 +1,246 @@
+// Kernel microbenchmarks (google-benchmark): the hot paths behind the
+// experiment harness — rank iterations, source-graph construction, the
+// throttle transform, and BV-style compression.
+#include <benchmark/benchmark.h>
+
+#include "core/source_graph.hpp"
+#include "core/srsr.hpp"
+#include "core/throttle.hpp"
+#include "graph/compressed.hpp"
+#include "graph/scc.hpp"
+#include "graph/transforms.hpp"
+#include "graph/webgen.hpp"
+#include "rank/pagerank.hpp"
+#include "rank/gauss_seidel.hpp"
+#include "rank/push.hpp"
+#include "rank/solvers.hpp"
+#include "search/engine.hpp"
+
+namespace srsr {
+namespace {
+
+graph::WebCorpus& corpus_of(u32 sources) {
+  static std::map<u32, graph::WebCorpus> cache;
+  auto it = cache.find(sources);
+  if (it == cache.end()) {
+    graph::WebGenConfig cfg;
+    cfg.num_sources = sources;
+    cfg.num_spam_sources = sources / 50;
+    cfg.seed = 12345;
+    it = cache.emplace(sources, graph::generate_web_corpus(cfg)).first;
+  }
+  return it->second;
+}
+
+void BM_WebCorpusGeneration(benchmark::State& state) {
+  graph::WebGenConfig cfg;
+  cfg.num_sources = static_cast<u32>(state.range(0));
+  cfg.seed = 999;
+  u64 edges = 0;
+  for (auto _ : state) {
+    const auto corpus = graph::generate_web_corpus(cfg);
+    edges = corpus.pages.num_edges();
+    benchmark::DoNotOptimize(corpus.pages.num_edges());
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+}
+BENCHMARK(BM_WebCorpusGeneration)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+void BM_PageRankSolve(benchmark::State& state) {
+  const auto& corpus = corpus_of(static_cast<u32>(state.range(0)));
+  const rank::PageRank solver(corpus.pages);
+  rank::PageRankConfig cfg;
+  cfg.convergence.tolerance = 1e-9;
+  for (auto _ : state) {
+    const auto r = solver.solve(cfg);
+    benchmark::DoNotOptimize(r.scores.data());
+  }
+  state.counters["edges"] = static_cast<double>(corpus.pages.num_edges());
+}
+BENCHMARK(BM_PageRankSolve)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_PageRankSolverSetup(benchmark::State& state) {
+  const auto& corpus = corpus_of(2000);
+  for (auto _ : state) {
+    const rank::PageRank solver(corpus.pages);
+    benchmark::DoNotOptimize(&solver);
+  }
+}
+BENCHMARK(BM_PageRankSolverSetup)->Unit(benchmark::kMillisecond);
+
+void BM_SourceGraphConstruction(benchmark::State& state) {
+  const auto& corpus = corpus_of(static_cast<u32>(state.range(0)));
+  const core::SourceMap map = core::SourceMap::from_corpus(corpus);
+  for (auto _ : state) {
+    const core::SourceGraph sg(corpus.pages, map);
+    benchmark::DoNotOptimize(sg.num_edges());
+  }
+}
+BENCHMARK(BM_SourceGraphConstruction)->Arg(1000)->Arg(4000)->Unit(benchmark::kMillisecond);
+
+void BM_ThrottleTransform(benchmark::State& state) {
+  const auto& corpus = corpus_of(4000);
+  const core::SourceMap map = core::SourceMap::from_corpus(corpus);
+  const core::SourceGraph sg(corpus.pages, map);
+  const auto tprime = sg.consensus_matrix(true);
+  std::vector<f64> kappa(sg.num_sources(), 0.0);
+  for (u32 s = 0; s < sg.num_sources(); s += 3) kappa[s] = 0.9;
+  for (auto _ : state) {
+    const auto t2 = core::apply_throttle(tprime, kappa);
+    benchmark::DoNotOptimize(t2.num_entries());
+  }
+}
+BENCHMARK(BM_ThrottleTransform)->Unit(benchmark::kMillisecond);
+
+void BM_SrsrEndToEnd(benchmark::State& state) {
+  const auto& corpus = corpus_of(2000);
+  const core::SourceMap map = core::SourceMap::from_corpus(corpus);
+  core::SrsrConfig cfg;
+  cfg.convergence.tolerance = 1e-9;
+  for (auto _ : state) {
+    const core::SpamResilientSourceRank model(corpus.pages, map, cfg);
+    const auto r = model.rank_baseline();
+    benchmark::DoNotOptimize(r.scores.data());
+  }
+}
+BENCHMARK(BM_SrsrEndToEnd)->Unit(benchmark::kMillisecond);
+
+void BM_GraphReverse(benchmark::State& state) {
+  const auto& corpus = corpus_of(4000);
+  for (auto _ : state) {
+    const auto r = graph::reverse(corpus.pages);
+    benchmark::DoNotOptimize(r.num_edges());
+  }
+}
+BENCHMARK(BM_GraphReverse)->Unit(benchmark::kMillisecond);
+
+void BM_CompressEncode(benchmark::State& state) {
+  const auto& corpus = corpus_of(4000);
+  double bpe = 0.0;
+  for (auto _ : state) {
+    const graph::CompressedGraph c(corpus.pages);
+    bpe = c.bits_per_edge();
+    benchmark::DoNotOptimize(c.memory_bytes());
+  }
+  state.counters["bits_per_edge"] = bpe;
+}
+BENCHMARK(BM_CompressEncode)->Unit(benchmark::kMillisecond);
+
+void BM_CompressDecodeRandomAccess(benchmark::State& state) {
+  const auto& corpus = corpus_of(4000);
+  const graph::CompressedGraph c(corpus.pages);
+  std::vector<NodeId> nbrs;
+  for (auto _ : state) {
+    u64 total = 0;
+    for (NodeId u = 0; u < c.num_nodes(); ++u) {
+      c.decode(u, nbrs);
+      total += nbrs.size();
+    }
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(c.num_edges()));
+}
+BENCHMARK(BM_CompressDecodeRandomAccess)->Unit(benchmark::kMillisecond);
+
+void BM_CompressDecodeScanner(benchmark::State& state) {
+  const auto& corpus = corpus_of(4000);
+  const graph::CompressedGraph c(corpus.pages);
+  std::vector<NodeId> nbrs;
+  for (auto _ : state) {
+    graph::CompressedGraph::Scanner scan(c);
+    u64 total = 0;
+    while (scan.next(nbrs)) total += nbrs.size();
+    benchmark::DoNotOptimize(total);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(c.num_edges()));
+}
+BENCHMARK(BM_CompressDecodeScanner)->Unit(benchmark::kMillisecond);
+
+void BM_PushSolveLocal(benchmark::State& state) {
+  const auto& corpus = corpus_of(2000);
+  const auto m =
+      rank::StochasticMatrix::uniform_from_graph(corpus.pages);
+  rank::PushConfig cfg;
+  cfg.epsilon = 1e-8;
+  cfg.teleport = std::vector<f64>(m.num_rows(), 0.0);
+  (*cfg.teleport)[0] = 1.0;
+  u64 pushes = 0;
+  for (auto _ : state) {
+    const auto r = rank::push_solve(m, cfg);
+    pushes = r.pushes;
+    benchmark::DoNotOptimize(r.scores.data());
+  }
+  state.counters["pushes"] = static_cast<double>(pushes);
+}
+BENCHMARK(BM_PushSolveLocal)->Unit(benchmark::kMillisecond);
+
+void BM_GaussSeidelSourceMatrix(benchmark::State& state) {
+  const auto& corpus = corpus_of(4000);
+  const core::SourceMap map = core::SourceMap::from_corpus(corpus);
+  const core::SourceGraph sg(corpus.pages, map);
+  const auto m = sg.consensus_matrix(true);
+  rank::SolverConfig cfg;
+  cfg.convergence.tolerance = 1e-9;
+  u32 iters = 0;
+  for (auto _ : state) {
+    const auto r = rank::gauss_seidel_solve(m, cfg);
+    iters = r.iterations;
+    benchmark::DoNotOptimize(r.scores.data());
+  }
+  state.counters["iterations"] = iters;
+}
+BENCHMARK(BM_GaussSeidelSourceMatrix)->Unit(benchmark::kMillisecond);
+
+graph::WebCorpus& term_corpus() {
+  static graph::WebCorpus corpus = [] {
+    graph::WebGenConfig cfg;
+    cfg.num_sources = 2000;
+    cfg.generate_terms = true;
+    cfg.seed = 777;
+    return graph::generate_web_corpus(cfg);
+  }();
+  return corpus;
+}
+
+void BM_InvertedIndexBuild(benchmark::State& state) {
+  const auto& corpus = term_corpus();
+  for (auto _ : state) {
+    const search::InvertedIndex idx(corpus.page_terms, corpus.vocab_size);
+    benchmark::DoNotOptimize(idx.num_postings());
+  }
+}
+BENCHMARK(BM_InvertedIndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_SearchQueryTop10(benchmark::State& state) {
+  const auto& corpus = term_corpus();
+  static const search::InvertedIndex idx(corpus.page_terms,
+                                         corpus.vocab_size);
+  const auto pr = rank::pagerank(corpus.pages);
+  search::EngineConfig blend;
+  blend.authority_weight = 0.5;
+  const search::SearchEngine engine(idx, pr.scores, blend);
+  const u32 background = 20000 / 20;
+  u32 term = background;
+  for (auto _ : state) {
+    const auto hits = engine.query({term, term + 5}, 10);
+    benchmark::DoNotOptimize(hits.data());
+    term = background + (term + 379) % 18000;  // vary the query
+  }
+}
+BENCHMARK(BM_SearchQueryTop10)->Unit(benchmark::kMicrosecond);
+
+void BM_SccDecomposition(benchmark::State& state) {
+  const auto& corpus = corpus_of(4000);
+  for (auto _ : state) {
+    const auto scc = graph::strongly_connected_components(corpus.pages);
+    benchmark::DoNotOptimize(scc.num_components);
+  }
+}
+BENCHMARK(BM_SccDecomposition)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace srsr
+
+BENCHMARK_MAIN();

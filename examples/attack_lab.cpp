@@ -1,0 +1,95 @@
+// attack_lab: an adversary's-eye comparison of PageRank and
+// Spam-Resilient SourceRank under the paper's three link-based
+// vulnerabilities (Sec. 2): collusion (link farm), hijacking, and a
+// honeypot. For each attack we report the score amplification of the
+// spammer's target under both ranking systems — the spammer's "return
+// on investment".
+#include <iostream>
+
+#include "core/srsr.hpp"
+#include "graph/webgen.hpp"
+#include "rank/pagerank.hpp"
+#include "spam/attacks.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace srsr;
+
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 1500;
+  cfg.num_spam_sources = 0;  // the attacker arrives on a clean web
+  cfg.seed = 99;
+  const graph::WebCorpus web = graph::generate_web_corpus(cfg);
+  const core::SourceMap sources = core::SourceMap::from_corpus(web);
+
+  const core::SpamResilientSourceRank clean_model(web.pages, sources);
+  const auto clean_sr = clean_model.rank_baseline();
+  const auto clean_pr = rank::pagerank(web.pages);
+
+  // The attacker's asset: a low-ranked source and a target page in it.
+  Pcg32 rng(5);
+  const auto picks = spam::select_attack_targets(
+      web, clean_sr.scores, std::vector<f64>(sources.num_sources(), 0.0), 2,
+      rng);
+  const NodeId target_source = picks[0];
+  const NodeId target_page = web.source_first_page[target_source];
+
+  auto evaluate = [&](const graph::WebCorpus& attacked) {
+    const core::SourceMap map2(attacked.page_source);
+    const core::SpamResilientSourceRank model2(attacked.pages, map2);
+    const auto sr = model2.rank_baseline();
+    const auto pr = rank::pagerank(attacked.pages);
+    return std::pair<f64, f64>{
+        pr.scores[target_page] / clean_pr.scores[target_page],
+        sr.scores[target_source] / clean_sr.scores[target_source]};
+  };
+
+  TextTable t({"Attack", "Effort", "PageRank amp", "SRSR amp"});
+
+  {  // Link farm inside the attacker's own source (Scenario 1).
+    for (const u32 tau : {10u, 100u, 1000u}) {
+      const auto [pr, sr] =
+          evaluate(spam::add_intra_source_farm(web, target_page, tau));
+      t.add_row({"intra-source farm", std::to_string(tau) + " pages",
+                 TextTable::fixed(pr, 1), TextTable::fixed(sr, 2)});
+    }
+  }
+  {  // Farm in a colluding source (Scenario 2).
+    const auto [pr, sr] = evaluate(
+        spam::add_cross_source_farm(web, target_page, picks[1], 500));
+    t.add_row({"colluding-source farm", "500 pages",
+               TextTable::fixed(pr, 1), TextTable::fixed(sr, 2)});
+  }
+  {  // Distributed collusion: many single-page sources (Scenario 3).
+    const auto [pr, sr] =
+        evaluate(spam::add_colluding_sources(web, target_page, 100, 1));
+    t.add_row({"100 colluding sources", "100 pages / 100 hosts",
+               TextTable::fixed(pr, 1), TextTable::fixed(sr, 2)});
+  }
+  {  // Hijacking scattered legitimate pages.
+    std::vector<NodeId> victims;
+    for (u32 i = 0; i < 200; ++i)
+      victims.push_back(rng.next_below(web.num_pages()));
+    const auto [pr, sr] =
+        evaluate(spam::add_hijack_links(web, victims, target_page));
+    t.add_row({"hijack 200 pages", "200 injected links",
+               TextTable::fixed(pr, 1), TextTable::fixed(sr, 2)});
+  }
+  {  // Honeypot: lure legitimate links, forward the authority.
+    Pcg32 lure_rng(6);
+    const auto [pr, sr] =
+        evaluate(spam::add_honeypot(web, target_page, 10, 150, lure_rng));
+    t.add_row({"honeypot (150 lured links)", "10-page decoy site",
+               TextTable::fixed(pr, 1), TextTable::fixed(sr, 2)});
+  }
+
+  std::cout << t.render(
+      "Attacker ROI: target score amplification under each attack");
+  std::cout << "\nPageRank rewards raw page volume; Spam-Resilient "
+               "SourceRank caps the\nintra-source gain (<= 6.67x at alpha "
+               "= 0.85) and dilutes cross-source\nattacks through source "
+               "consensus. Distributed collusion is the remaining\nvector "
+               "— which is what spam-proximity throttling (see spam_audit) "
+               "closes.\n";
+  return 0;
+}

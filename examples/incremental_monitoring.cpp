@@ -1,0 +1,102 @@
+// incremental_monitoring: operating the ranking over an evolving crawl.
+//
+// A production index re-crawls continuously; each delta is small
+// relative to the corpus. This example simulates five "nightly" crawl
+// deltas (new pages, new links — including a link-farm attack growing
+// in one of them), re-ranks each night with a warm start from the
+// previous night's vector, and monitors two things:
+//
+//   1. ranking stability: Kendall tau night-over-night (global order
+//      drifts slowly under organic growth) and a promotion alarm — the
+//      number of pages that jumped >= 30 percentile points INTO the
+//      top 5%. Organic churn lives in the tie-heavy bottom of the
+//      ranking; a link-farm attack promotes its target into the head,
+//      which is exactly what the alarm counts;
+//   2. solver cost: warm vs cold iteration counts.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+
+#include "core/srsr.hpp"
+#include "graph/webgen.hpp"
+#include "metrics/ranking.hpp"
+#include "rank/pagerank.hpp"
+#include "spam/attacks.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace srsr;
+
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 2000;
+  cfg.num_spam_sources = 0;
+  cfg.seed = 31337;
+  graph::WebCorpus crawl = graph::generate_web_corpus(cfg);
+  std::cout << "night 0: " << crawl.num_pages() << " pages, "
+            << crawl.pages.num_edges() << " links\n";
+
+  rank::PageRankConfig pr_cfg;
+  pr_cfg.convergence.tolerance = 1e-9;
+  auto ranks = rank::pagerank(crawl.pages, pr_cfg);
+
+  Pcg32 rng(42);
+  TextTable t({"Night", "Pages", "Cold iters", "Warm iters",
+               "Kendall tau vs prev", "Promotion alarms", "Note"});
+
+  for (int night = 1; night <= 5; ++night) {
+    // Organic growth: ~1% new pages appended to random sources, each
+    // linking to a couple of existing pages.
+    const u32 new_pages = crawl.num_pages() / 100;
+    graph::WebCorpus grown = crawl;
+    for (u32 i = 0; i < new_pages; ++i) {
+      const NodeId src = rng.next_below(grown.num_sources());
+      const NodeId page = grown.source_first_page[src];
+      grown = spam::add_intra_source_farm(grown, page, 1);
+    }
+    std::string note = "organic growth";
+    if (night == 4) {
+      // The attack night: a 500-page farm on one target.
+      grown = spam::add_intra_source_farm(
+          grown, grown.source_first_page[1500], 500);
+      note = "link-farm attack!";
+    }
+
+    const auto cold = rank::pagerank(grown.pages, pr_cfg);
+    rank::PageRankConfig warm_cfg = pr_cfg;
+    std::vector<f64> init = ranks.scores;
+    init.resize(grown.pages.num_nodes(), 1e-12);
+    warm_cfg.initial = std::move(init);
+    const auto warm = rank::pagerank(grown.pages, warm_cfg);
+
+    // Stability of the persistent pages' relative order.
+    const std::size_t overlap = ranks.scores.size();
+    const std::vector<f64> prev(ranks.scores.begin(),
+                                ranks.scores.begin() + overlap);
+    const std::vector<f64> cur(warm.scores.begin(),
+                               warm.scores.begin() + overlap);
+    const f64 tau = metrics::kendall_tau(prev, cur);
+    // Promotion alarm: pages that jumped >= 30 percentile points into
+    // the top 5% overnight. (O(n log n) via shared rank vectors.)
+    const auto rank_prev = metrics::ranks_by_score(prev);
+    const auto rank_cur = metrics::ranks_by_score(cur);
+    const f64 n_pages = static_cast<f64>(overlap);
+    u32 alarms = 0;
+    for (std::size_t i = 0; i < overlap; ++i) {
+      const f64 pct_prev = 100.0 * (1.0 - static_cast<f64>(rank_prev[i]) / n_pages);
+      const f64 pct_cur = 100.0 * (1.0 - static_cast<f64>(rank_cur[i]) / n_pages);
+      if (pct_cur >= 95.0 && pct_cur - pct_prev >= 30.0) ++alarms;
+    }
+
+    t.add_row({std::to_string(night), TextTable::num(grown.num_pages()),
+               TextTable::num(cold.iterations), TextTable::num(warm.iterations),
+               TextTable::fixed(tau, 4), TextTable::num(alarms), note});
+    crawl = std::move(grown);
+    ranks = warm;
+  }
+  std::cout << t.render("Nightly re-ranking with warm starts");
+  std::cout << "\nWarm starts track the slowly-moving fixed point at a "
+               "fraction of the\ncold-start cost; the promotion alarm on "
+               "night 4 is the attack showing\nup in the stability "
+               "monitor.\n";
+  return 0;
+}

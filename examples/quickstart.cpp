@@ -1,0 +1,71 @@
+// Quickstart: rank a handful of pages with Spam-Resilient SourceRank.
+//
+// Demonstrates the minimal public-API path:
+//   URLs -> SourceMap (host grouping) -> page graph -> SRSR scores.
+//
+// The toy web below has three sites; blog.example hosts a page that has
+// been hijacked with a link to spam.example. Watch how little that
+// single hijacked link buys the spammer at source level.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/srsr.hpp"
+#include "graph/builder.hpp"
+
+int main() {
+  using namespace srsr;
+
+  // 1. Pages, identified by URL. Hosts define sources (Sec. 3.1).
+  const std::vector<std::string> urls = {
+      "http://news.example/",            // 0
+      "http://news.example/politics",    // 1
+      "http://news.example/tech",        // 2
+      "http://blog.example/",            // 3
+      "http://blog.example/post-1",      // 4  <- hijacked below
+      "http://spam.example/buy-now",     // 5
+  };
+  const core::SourceMap sources = core::SourceMap::from_urls(urls);
+
+  // 2. Hyperlinks.
+  graph::GraphBuilder builder(static_cast<NodeId>(urls.size()));
+  builder.add_edge(0, 1);  // news front page -> its own articles
+  builder.add_edge(0, 2);
+  builder.add_edge(1, 0);
+  builder.add_edge(2, 0);
+  builder.add_edge(3, 4);  // blog front page -> post
+  builder.add_edge(4, 3);
+  builder.add_edge(3, 0);  // blog cites the news site
+  builder.add_edge(4, 0);
+  builder.add_edge(4, 5);  // the hijacked link into spam.example
+  const graph::Graph pages = builder.build();
+
+  // 3. Rank. Defaults: alpha = 0.85, consensus weighting, self-edge
+  //    augmentation, power method to L2 < 1e-9. Teleport-discard
+  //    throttling (the Sec. 6 deployment mode) makes kappa = 1 strip a
+  //    source of ALL influence, including its self-retention.
+  core::SrsrConfig config;
+  config.throttle_mode = core::ThrottleMode::kTeleportDiscard;
+  const core::SpamResilientSourceRank model(pages, sources, config);
+
+  // Baseline: no throttling information at all.
+  const auto baseline = model.rank_baseline();
+
+  // With the spam source throttled (e.g. from a blocklist).
+  std::vector<f64> kappa(sources.num_sources(), 0.0);
+  const NodeId spam_source = sources.source_of(5);
+  kappa[spam_source] = 1.0;
+  const auto throttled = model.rank(kappa);
+
+  const std::vector<std::string> names = {"news.example", "blog.example",
+                                          "spam.example"};
+  std::cout << "source         baseline   throttled\n";
+  for (u32 s = 0; s < sources.num_sources(); ++s) {
+    std::printf("%-14s %.4f     %.4f\n", names[s].c_str(),
+                baseline.scores[s], throttled.scores[s]);
+  }
+  std::cout << "\nThe hijacked link moved only 1 of blog.example's "
+               "page-votes (consensus\nweighting), and throttling "
+               "spam.example strips what little it earned.\n";
+  return 0;
+}

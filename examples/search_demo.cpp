@@ -1,0 +1,94 @@
+// search_demo: a complete miniature search engine over a synthetic
+// crawl — BM25 retrieval blended with link authority — showing what a
+// user actually sees with and without spam-resilient ranking.
+//
+// The crawl plants spam sources that attack BOTH channels: keyword
+// stuffing (against the lexical ranker) and a link cluster (against the
+// authority ranker). We run one topical query through three engine
+// configurations and print the top-5 result pages for each.
+#include <iostream>
+
+#include "core/srsr.hpp"
+#include "graph/webgen.hpp"
+#include "rank/pagerank.hpp"
+#include "search/engine.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace srsr;
+
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 2000;
+  cfg.num_spam_sources = 60;
+  cfg.generate_terms = true;
+  cfg.stuffed_terms = 45;
+  cfg.seed = 60481;
+  const auto crawl = graph::generate_web_corpus(cfg);
+  std::cout << "indexed " << crawl.num_pages() << " pages ("
+            << crawl.num_sources() << " hosts, vocab " << crawl.vocab_size
+            << ")\n\n";
+
+  const search::InvertedIndex index(crawl.page_terms, crawl.vocab_size);
+
+  // Authority signals: PageRank and throttled SRSR (seeded with 10% of
+  // the known spam hosts).
+  const auto pr = rank::pagerank(crawl.pages);
+  const core::SourceMap sources = core::SourceMap::from_corpus(crawl);
+  core::SrsrConfig model_cfg;
+  model_cfg.throttle_mode = core::ThrottleMode::kTeleportDiscard;
+  const core::SpamResilientSourceRank model(crawl.pages, sources, model_cfg);
+  const auto spam = crawl.spam_sources();
+  const std::vector<NodeId> seeds(spam.begin(), spam.begin() + 6);
+  const auto srsr_scores = model.rank_with_spam_seeds(
+      seeds, 2 * static_cast<u32>(spam.size()));
+  const auto srsr_pages = search::project_source_scores_to_pages(
+      srsr_scores.ranking.scores, crawl.page_source,
+      crawl.source_page_count);
+
+  search::EngineConfig blend;
+  blend.authority_weight = 0.5;
+  const search::SearchEngine pure(index, {});
+  const search::SearchEngine with_pr(index, pr.scores, blend);
+  const search::SearchEngine with_srsr(index, srsr_pages, blend);
+
+  // The query: a topic head term — exactly what stuffers target. Scan
+  // topics for one where the stuffing succeeded against pure BM25 (the
+  // generator distributes stuffing over random topics).
+  const u32 background = cfg.vocab_size / 20;
+  const u32 topic_span = (cfg.vocab_size - background) / cfg.num_topics;
+  std::vector<u32> query{background};
+  for (u32 topic = 0; topic < cfg.num_topics; ++topic) {
+    const std::vector<u32> candidate{background + topic * topic_span};
+    u32 spam_hits = 0;
+    for (const auto& hit : pure.query(candidate, 5))
+      spam_hits += crawl.source_is_spam[crawl.page_source[hit.page]];
+    if (spam_hits >= 2) {
+      query = candidate;
+      break;
+    }
+  }
+  std::cout << "query: {term " << query[0]
+            << "} (a stuffed topic head term)\n\n";
+
+  auto show = [&](const char* name, const search::SearchEngine& engine) {
+    TextTable t({"#", "Host", "Spam?", "Relevance", "Authority pct blend"});
+    const auto hits = engine.query(query, 5);
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      const NodeId src = crawl.page_source[hits[i].page];
+      t.add_row({std::to_string(i + 1), crawl.source_hosts[src],
+                 crawl.source_is_spam[src] ? "SPAM" : "",
+                 TextTable::fixed(hits[i].relevance, 2),
+                 TextTable::fixed(hits[i].score, 3)});
+    }
+    std::cout << t.render(name) << '\n';
+  };
+
+  show("1) pure BM25 (lexical only)", pure);
+  show("2) BM25 + PageRank authority", with_pr);
+  show("3) BM25 + throttled Spam-Resilient SourceRank", with_srsr);
+
+  std::cout << "Keyword stuffing games the lexical ranker; the link "
+               "cluster props up spam\nauthority under PageRank; the "
+               "throttled SRSR blend suppresses both.\n";
+  return 0;
+}

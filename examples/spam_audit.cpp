@@ -1,0 +1,95 @@
+// spam_audit: the search-operator workflow from the paper's evaluation
+// (Sec. 6.2), end to end on a synthetic crawl.
+//
+// Scenario: you run a search index over ~100k pages. A reviewer has
+// hand-labeled a small set of spam hosts (far from all of them). This
+// example:
+//   1. builds the source view of the crawl,
+//   2. propagates spam proximity from the small seed (Sec. 5),
+//   3. throttles the top-k proximity sources (kappa = 1),
+//   4. re-ranks, and reports (a) the spam sources that fell furthest
+//      and (b) how the whole planted spam population moved.
+#include <algorithm>
+#include <iostream>
+#include <numeric>
+
+#include "core/srsr.hpp"
+#include "graph/webgen.hpp"
+#include "metrics/ranking.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace srsr;
+
+  // A mid-sized synthetic crawl with a planted spam community. In a
+  // real deployment this is your crawl + host extraction (see the
+  // dataset_pipeline example for the file-based path).
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 4000;
+  cfg.num_spam_sources = 120;
+  cfg.seed = 20260707;
+  const graph::WebCorpus crawl = graph::generate_web_corpus(cfg);
+  std::cout << "crawl: " << crawl.num_pages() << " pages, "
+            << crawl.pages.num_edges() << " links, " << crawl.num_sources()
+            << " sources\n";
+
+  const core::SourceMap sources = core::SourceMap::from_corpus(crawl);
+  core::SrsrConfig model_cfg;
+  model_cfg.throttle_mode = core::ThrottleMode::kTeleportDiscard;
+  const core::SpamResilientSourceRank model(crawl.pages, sources, model_cfg);
+
+  // The reviewer's labels: 10% of the true spam, sampled at random.
+  const auto all_spam = crawl.spam_sources();
+  Pcg32 rng(7);
+  const auto seed_idx = sample_without_replacement(
+      rng, static_cast<u32>(all_spam.size()),
+      static_cast<u32>(all_spam.size() / 10));
+  std::vector<NodeId> labeled;
+  for (const u32 i : seed_idx) labeled.push_back(all_spam[i]);
+  std::cout << "reviewer labeled " << labeled.size() << " of "
+            << all_spam.size() << " actual spam hosts\n\n";
+
+  // Rank without and with influence throttling.
+  const auto before = model.rank_baseline();
+  const auto after = model.rank_with_spam_seeds(
+      labeled, /*top_k=*/2 * static_cast<u32>(all_spam.size()));
+
+  // (a) The biggest demotions among the *unlabeled* spam — the hosts the
+  // proximity walk caught without a reviewer ever seeing them.
+  struct Demotion {
+    NodeId source;
+    f64 drop;
+  };
+  std::vector<Demotion> demotions;
+  std::vector<bool> was_labeled(crawl.num_sources(), false);
+  for (const NodeId s : labeled) was_labeled[s] = true;
+  for (const NodeId s : all_spam) {
+    if (was_labeled[s]) continue;
+    demotions.push_back(
+        {s, metrics::percentile_of(before.scores, s) -
+                metrics::percentile_of(after.ranking.scores, s)});
+  }
+  std::sort(demotions.begin(), demotions.end(),
+            [](const Demotion& a, const Demotion& b) { return a.drop > b.drop; });
+
+  TextTable top({"Host", "Percentile drop"});
+  for (std::size_t i = 0; i < 10 && i < demotions.size(); ++i)
+    top.add_row({crawl.source_hosts[demotions[i].source],
+                 TextTable::fixed(demotions[i].drop, 1)});
+  std::cout << top.render("Top demotions among UNLABELED spam hosts");
+
+  // (b) Population view: average percentile of all planted spam.
+  auto mean_percentile = [&](const std::vector<f64>& scores) {
+    f64 total = 0.0;
+    for (const NodeId s : all_spam)
+      total += metrics::percentile_of(scores, s);
+    return total / static_cast<f64>(all_spam.size());
+  };
+  std::cout << "\nmean spam percentile before: "
+            << TextTable::fixed(mean_percentile(before.scores), 1)
+            << "\nmean spam percentile after:  "
+            << TextTable::fixed(mean_percentile(after.ranking.scores), 1)
+            << "\n(100 = best ranked; lower is better for the index)\n";
+  return 0;
+}

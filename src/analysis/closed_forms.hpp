@@ -1,0 +1,77 @@
+// Closed-form spam-resilience models (paper Sec. 4).
+//
+// These are the analytic counterparts to the simulated experiments:
+// Figs. 2-4 of the paper are pure functions of (alpha, kappa, |S|, |P|,
+// tau, x), reproduced here exactly. The simulation benches verify that
+// the empirical rank computations track these forms.
+//
+// Conventions: alpha is the mixing parameter, S the number of sources,
+// P the number of pages, z the aggregate incoming score from sources
+// outside the spammer's control (paper sets z = 0 for the worst-case
+// analyses, making results graph-independent).
+#pragma once
+
+#include "util/common.hpp"
+
+namespace srsr::analysis {
+
+/// SRSR score of a single source with self-edge weight w (Sec. 4.1):
+///   sigma = (alpha*z + (1-alpha)/S) / (1 - alpha*w)
+f64 single_source_score(f64 alpha, u64 S, f64 self_weight, f64 z = 0.0);
+
+/// Eq. 4: the optimum of the above at w = 1 (keep only the self-edge).
+f64 optimal_single_source_score(f64 alpha, u64 S, f64 z = 0.0);
+
+/// Fig. 2: the maximum factor by which a source with initial throttling
+/// value kappa can raise its own score by tuning its self-weight to 1:
+///   sigma*/sigma = (1 - alpha*kappa) / (1 - alpha)
+f64 self_tuning_gain(f64 alpha, f64 kappa);
+
+/// Eq. 5: total score contribution of x optimally-configured colluding
+/// sources (each with throttle kappa and outside income z_i) to an
+/// optimally-configured target:
+///   Delta = alpha/(1-alpha) * x * (1-kappa) *
+///           (alpha*z_i + (1-alpha)/S) / (1 - alpha*kappa)
+/// (each colluder keeps the mandated kappa self-mass and directs the
+/// remaining 1-kappa of its score sigma_i at the target).
+f64 collusion_contribution(f64 alpha, u64 S, u32 x, f64 kappa, f64 z_i = 0.0);
+
+/// sigma_0 for a target at self-weight 1 supported by x colluders:
+///   sigma_0 = (alpha*z0 + (1-alpha)/S) / (1-alpha)
+///             + collusion_contribution(...)
+f64 target_score_with_colluders(f64 alpha, u64 S, u32 x, f64 kappa,
+                                f64 z0 = 0.0, f64 z_i = 0.0);
+
+/// Fig. 3: colluding sources needed under throttle kappa_new relative
+/// to kappa_old for equal influence:
+///   x'/x = (1-alpha*kappa')/(1-alpha*kappa) * (1-kappa)/(1-kappa')
+f64 extra_sources_ratio(f64 alpha, f64 kappa_old, f64 kappa_new);
+
+/// PageRank of a target page with tau colluding pages, each linking
+/// only to the target (Sec. 4.3):
+///   pi_0 = z + (1-alpha)/P + tau*alpha*(1-alpha)/P
+f64 pagerank_target_score(f64 alpha, u64 P, u64 tau, f64 z = 0.0);
+
+/// The collusion gain Delta_tau(pi_0) = tau*alpha*(1-alpha)/P.
+f64 pagerank_collusion_gain(f64 alpha, u64 P, u64 tau);
+
+/// pi_0(tau)/pi_0(0) — the PageRank amplification curve of Fig. 4
+/// (with z = 0 this is simply 1 + tau*alpha).
+f64 pagerank_amplification(f64 alpha, u64 P, u64 tau, f64 z = 0.0);
+
+/// Fig. 4(a), Scenario 1 (all collusion inside the target source):
+/// SRSR is flat in tau; the only gain is the one-time self-tuning from
+/// kappa to 1. Returns that cap.
+f64 srsr_scenario1_amplification(f64 alpha, f64 kappa);
+
+/// Fig. 4(b), Scenario 2 (one colluding source, z = 0): amplification
+/// relative to the already-self-tuned target,
+///   1 + alpha*(1-kappa)/(1-alpha*kappa),
+/// flat in tau — the "capped at ~2x" curve.
+f64 srsr_scenario2_amplification(f64 alpha, f64 kappa);
+
+/// Fig. 4(c), Scenario 3 (x colluding sources, z = 0): amplification
+///   1 + x*alpha*(1-kappa)/(1-alpha*kappa).
+f64 srsr_scenario3_amplification(f64 alpha, u32 x, f64 kappa);
+
+}  // namespace srsr::analysis

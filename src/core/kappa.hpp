@@ -1,0 +1,34 @@
+// Throttling-vector (kappa) assignment policies.
+//
+// The paper (Sec. 5-6) uses one simple heuristic — fully throttle the
+// top-k spam-proximity sources, leave the rest untouched — and notes
+// that many assignments are possible. This header provides that policy
+// plus two natural alternatives used by the ablation benches.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace srsr::core {
+
+/// Paper policy (Sec. 5/6.2): kappa = 1 for the k sources with the
+/// highest proximity scores, kappa = 0 elsewhere. Ties at the k-th
+/// score are broken by source id (lower id throttled first) so the
+/// result is deterministic.
+std::vector<f64> kappa_top_k(std::span<const f64> proximity, u32 k);
+
+/// Threshold policy: kappa = 1 where proximity >= threshold.
+std::vector<f64> kappa_threshold(std::span<const f64> proximity,
+                                 f64 threshold);
+
+/// Proportional policy: kappa_i = min(1, proximity_i / quantile_q),
+/// a smooth ramp where the q-th quantile of proximity maps to full
+/// throttling. q in (0, 1].
+std::vector<f64> kappa_proportional(std::span<const f64> proximity, f64 q);
+
+/// Uniform kappa (used by the analytic scenarios of Sec. 4).
+std::vector<f64> kappa_uniform(u32 n, f64 value);
+
+}  // namespace srsr::core

@@ -1,0 +1,30 @@
+#include "core/spam_proximity.hpp"
+
+#include "graph/transforms.hpp"
+#include "rank/pagerank.hpp"
+
+namespace srsr::core {
+
+rank::RankResult spam_proximity(const graph::Graph& source_topology,
+                                const std::vector<NodeId>& spam_seeds,
+                                const SpamProximityConfig& config) {
+  check(!spam_seeds.empty(), "spam_proximity: seed set must be non-empty");
+  // Invert the source graph: a source pointed TO by many sources in the
+  // original graph points to them here, so spam mass flows backwards
+  // along citations — onto the sources that endorse spam.
+  const graph::Graph inverted = graph::reverse(source_topology);
+
+  std::vector<f64> teleport(inverted.num_nodes(), 0.0);
+  for (const NodeId s : spam_seeds) {
+    check(s < inverted.num_nodes(), "spam_proximity: seed id out of range");
+    teleport[s] = 1.0;
+  }
+
+  rank::PageRankConfig pr;
+  pr.alpha = config.beta;
+  pr.convergence = config.convergence;
+  pr.teleport = std::move(teleport);
+  return rank::pagerank(inverted, pr);
+}
+
+}  // namespace srsr::core

@@ -1,0 +1,38 @@
+// Spam proximity (Sec. 5): how "close" every source is to known spam.
+//
+// Given a (small) seed of labeled spam sources, reverse the source
+// graph and run a PageRank-style walk whose teleport distribution d is
+// concentrated on the seed (Eq. 6):
+//
+//   U_hat = beta * U + (1 - beta) * 1 * d^T
+//
+// where U is the uniform transition matrix of the *inverted* source
+// graph. The stationary vector is biased toward spam and toward sources
+// that link (directly or transitively) to spam — a BadRank-style
+// "negative PageRank". Scores feed the kappa assignment policies in
+// kappa.hpp.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rank/convergence.hpp"
+#include "rank/result.hpp"
+#include "util/common.hpp"
+
+namespace srsr::core {
+
+struct SpamProximityConfig {
+  /// Mixing factor beta of Eq. 6 (paper uses the PageRank-typical 0.85).
+  f64 beta = 0.85;
+  rank::Convergence convergence;
+};
+
+/// Spam-proximity scores over sources. `source_topology` is the
+/// (forward) source graph topology; `spam_seeds` are labeled spam
+/// source ids (non-empty, in range). Scores form a distribution.
+rank::RankResult spam_proximity(const graph::Graph& source_topology,
+                                const std::vector<NodeId>& spam_seeds,
+                                const SpamProximityConfig& config = {});
+
+}  // namespace srsr::core

@@ -1,0 +1,49 @@
+#include "core/srsr.hpp"
+
+namespace srsr::core {
+
+SpamResilientSourceRank::SpamResilientSourceRank(const graph::Graph& pages,
+                                                 const SourceMap& map,
+                                                 SrsrConfig config)
+    : config_(config), source_graph_(pages, map) {
+  base_matrix_ = config_.weighting == EdgeWeighting::kConsensus
+                     ? source_graph_.consensus_matrix(config_.self_edges)
+                     : source_graph_.uniform_matrix(config_.self_edges);
+}
+
+rank::StochasticMatrix SpamResilientSourceRank::throttled_matrix(
+    std::span<const f64> kappa) const {
+  return apply_throttle(base_matrix_, kappa, config_.throttle_mode);
+}
+
+rank::RankResult SpamResilientSourceRank::solve(
+    const rank::StochasticMatrix& matrix) const {
+  rank::SolverConfig sc;
+  sc.alpha = config_.alpha;
+  sc.convergence = config_.convergence;
+  return config_.solver == SolverKind::kPower ? rank::power_solve(matrix, sc)
+                                              : rank::jacobi_solve(matrix, sc);
+}
+
+rank::RankResult SpamResilientSourceRank::rank(
+    std::span<const f64> kappa) const {
+  return solve(throttled_matrix(kappa));
+}
+
+rank::RankResult SpamResilientSourceRank::rank_baseline() const {
+  return solve(base_matrix_);
+}
+
+SpamResilientSourceRank::ThrottledRanking
+SpamResilientSourceRank::rank_with_spam_seeds(
+    const std::vector<NodeId>& spam_seeds, u32 top_k,
+    const SpamProximityConfig& proximity_config) const {
+  ThrottledRanking out;
+  out.proximity = spam_proximity(source_graph_.topology(), spam_seeds,
+                                 proximity_config);
+  out.kappa = kappa_top_k(out.proximity.scores, top_k);
+  out.ranking = rank(out.kappa);
+  return out;
+}
+
+}  // namespace srsr::core

@@ -1,0 +1,124 @@
+#include "core/throttle.hpp"
+
+#include <algorithm>
+
+namespace srsr::core {
+
+rank::StochasticMatrix apply_throttle(const rank::StochasticMatrix& tprime,
+                                      std::span<const f64> kappa,
+                                      ThrottleMode mode) {
+  const bool discard = mode == ThrottleMode::kTeleportDiscard;
+  const NodeId n = tprime.num_rows();
+  check(kappa.size() == n, "apply_throttle: kappa size mismatch");
+  for (const f64 k : kappa)
+    check(k >= 0.0 && k <= 1.0, "apply_throttle: kappa must be in [0,1]");
+
+  std::vector<u64> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<NodeId> cols;
+  std::vector<f64> weights;
+  cols.reserve(tprime.num_entries() + n);
+  weights.reserve(tprime.num_entries() + n);
+
+  for (NodeId r = 0; r < n; ++r) {
+    const auto cs = tprime.row_cols(r);
+    const auto ws = tprime.row_weights(r);
+    const f64 k = kappa[r];
+
+    f64 self = 0.0;
+    f64 off = 0.0;
+    for (std::size_t i = 0; i < cs.size(); ++i)
+      (cs[i] == r ? self : off) += ws[i];
+
+    if (cs.empty()) {
+      // Dangling row: in absorb mode the mandated self-mass has nowhere
+      // else to go; in discard mode it evaporates (stays dangling).
+      if (k > 0.0 && !discard) {
+        cols.push_back(r);
+        weights.push_back(1.0);
+      }
+      offsets[r + 1] = cols.size();
+      continue;
+    }
+
+    if (discard) {
+      // Surrender exactly k of the row's mass: self-edge first, then
+      // out-edges. new_self = max(0, self - k); the off-diagonal budget
+      // is whatever of (1 - k) remains after new_self, which for a
+      // stochastic row is min(off, 1 - k).
+      const f64 new_self = self > k ? self - k : 0.0;
+      // Clamp so an already-substochastic input row never gains mass.
+      const f64 off_budget = std::min(1.0 - k - new_self, off);
+      const f64 scale = off > 0.0 ? off_budget / off : 0.0;
+      for (std::size_t i = 0; i < cs.size(); ++i) {
+        const f64 w = cs[i] == r ? (ws[i] / (self > 0.0 ? self : 1.0)) * new_self
+                                 : ws[i] * scale;
+        if (w > 0.0) {
+          cols.push_back(cs[i]);
+          weights.push_back(w);
+        }
+      }
+      offsets[r + 1] = cols.size();
+      continue;
+    }
+
+    if (self >= k) {
+      // Floor already met: row passes through unchanged.
+      for (std::size_t i = 0; i < cs.size(); ++i) {
+        cols.push_back(cs[i]);
+        weights.push_back(ws[i]);
+      }
+      offsets[r + 1] = cols.size();
+      continue;
+    }
+
+    // Mandate kappa self-mass and rescale the rest to (1 - kappa).
+    // off > 0 is guaranteed here: self < k <= 1 and the row sums to 1.
+    // In discard mode the mandated self entry is omitted — the row is
+    // left substochastic (sum 1 - kappa) and the power solver routes
+    // the deficit to the teleport distribution.
+    const f64 scale = off > 0.0 ? (1.0 - k) / off : 0.0;
+    bool self_written = discard;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      if (cs[i] == r) {
+        if (!discard) {
+          cols.push_back(r);
+          weights.push_back(k);
+        }
+        self_written = true;
+        continue;
+      }
+      if (!self_written && cs[i] > r) {
+        // The input row had no explicit self entry; splice it in to
+        // keep columns sorted.
+        cols.push_back(r);
+        weights.push_back(k);
+        self_written = true;
+      }
+      const f64 w = ws[i] * scale;
+      if (w > 0.0) {
+        cols.push_back(cs[i]);
+        weights.push_back(w);
+      }
+    }
+    if (!self_written) {
+      cols.push_back(r);
+      weights.push_back(k);
+    }
+    offsets[r + 1] = cols.size();
+  }
+  return rank::StochasticMatrix(std::move(offsets), std::move(cols),
+                                std::move(weights));
+}
+
+std::vector<f64> self_weights(const rank::StochasticMatrix& m) {
+  std::vector<f64> out(m.num_rows(), 0.0);
+  for (NodeId r = 0; r < m.num_rows(); ++r) {
+    const auto cs = m.row_cols(r);
+    const auto ws = m.row_weights(r);
+    for (std::size_t i = 0; i < cs.size(); ++i)
+      if (cs[i] == r) out[r] += ws[i];
+  }
+  return out;
+}
+
+}  // namespace srsr::core

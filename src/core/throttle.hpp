@@ -1,0 +1,74 @@
+// Influence throttling: the T' -> T'' transform (Sec. 3.3).
+//
+// Each source s_i carries a throttling factor kappa_i in [0,1] mandating
+// a minimum self-edge weight. Rows whose self-weight already meets the
+// floor are untouched; otherwise the self-weight is raised to kappa_i
+// and the off-diagonal weights are rescaled proportionally so the row
+// still sums to 1:
+//
+//   T''_ii = kappa_i
+//   T''_ij = T'_ij / (sum_{k != i} T'_ik) * (1 - kappa_i)   (j != i)
+//
+// kappa_i = 1 throttles a source completely (all out-influence killed);
+// kappa_i = 0 leaves the row as-is. Corner cases, documented behaviour:
+//
+//   - a row that is a pure self-loop (T'_ii = 1) always satisfies the
+//     floor and is unchanged;
+//   - a dangling row (no entries at all) stays dangling when
+//     kappa_i = 0 and becomes a pure self-loop when kappa_i > 0 (the
+//     mandated self-mass has nowhere else to put the remainder);
+//   - kappa_i = 1 with out-edges present zeroes every off-diagonal
+//     entry (they are dropped from the sparsity pattern).
+// INTERPRETATION NOTE (see DESIGN.md): the literal transform above
+// makes a fully-throttled source (kappa = 1) an *absorbing* state of
+// the walk — its stationary score floors at the population mean
+// (sigma = t/(1-alpha) = 1/|S| when it has no in-links), so fully
+// throttled spam can never sink to the bottom of the ranking. That is
+// the model Sec. 4's closed forms are derived from, but it cannot
+// produce the Fig. 5 result (throttled spam concentrated in the bottom
+// buckets). The evaluation is only consistent with the mandated
+// self-mass being *surrendered* rather than retained. Both readings are
+// implemented:
+//
+//   kSelfAbsorb      — literal Eq. T'': the mandated kappa mass sits on
+//                      the self-edge (walker stays put). Use for the
+//                      Sec. 4 analysis reproductions (Figs. 2-4).
+//   kTeleportDiscard — exactly kappa of the row's mass is surrendered
+//                      (taken from the self-edge first, then from the
+//                      out-edges), leaving the row substochastic with
+//                      sum 1-kappa; the power solver re-routes the
+//                      deficit to the teleport distribution. "Influence
+//                      completely throttled" then also denies the
+//                      spammer the self-absorption payoff — kappa = 1
+//                      empties the row even for a pure self-loop
+//                      source. Use for the Sec. 6 experiments
+//                      (Figs. 5-7); an ablation bench contrasts the
+//                      two.
+#pragma once
+
+#include <span>
+
+#include "rank/stochastic.hpp"
+#include "util/common.hpp"
+
+namespace srsr::core {
+
+enum class ThrottleMode {
+  kSelfAbsorb,       // literal Sec. 3.3 transform
+  kTeleportDiscard,  // mandated self-mass surrendered to teleport
+};
+
+/// Applies the influence-throttling transform. `kappa` must have one
+/// entry per row, each in [0,1]. The input should normally be a
+/// consensus matrix built with self-edge augmentation (so the self
+/// entry exists); rows without a self entry are handled as if the self
+/// entry were present with weight 0.
+rank::StochasticMatrix apply_throttle(
+    const rank::StochasticMatrix& tprime, std::span<const f64> kappa,
+    ThrottleMode mode = ThrottleMode::kSelfAbsorb);
+
+/// Self-edge weight of each row (0 when absent) — T'_ii as a vector,
+/// handy for inspecting how binding the throttle floor is.
+std::vector<f64> self_weights(const rank::StochasticMatrix& m);
+
+}  // namespace srsr::core

@@ -1,0 +1,65 @@
+#include "graph/builder.hpp"
+
+#include <algorithm>
+
+namespace srsr::graph {
+
+GraphBuilder::GraphBuilder(NodeId num_nodes) : num_nodes_(num_nodes) {}
+
+GraphBuilder::GraphBuilder(const Graph& g) : num_nodes_(g.num_nodes()) {
+  edges_.reserve(g.num_edges());
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (const NodeId v : g.out_neighbors(u)) edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::grow(NodeId n) {
+  if (n > num_nodes_) num_nodes_ = n;
+}
+
+NodeId GraphBuilder::add_node() {
+  check(num_nodes_ != kInvalidNode, "GraphBuilder: node id space exhausted");
+  return num_nodes_++;
+}
+
+void GraphBuilder::add_edge(NodeId u, NodeId v) {
+  check(u < num_nodes_ && v < num_nodes_,
+        "GraphBuilder::add_edge: node id out of range");
+  edges_.emplace_back(u, v);
+}
+
+Graph GraphBuilder::build() {
+  // Counting sort by source, then per-node sort + dedup of targets.
+  std::vector<u64> offsets(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    (void)v;
+    ++offsets[u + 1];
+  }
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+
+  std::vector<NodeId> targets(edges_.size());
+  std::vector<u64> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : edges_) targets[cursor[u]++] = v;
+  edges_.clear();
+  edges_.shrink_to_fit();
+
+  // Sort and dedup each adjacency list in place, then compact.
+  std::vector<u64> out_offsets(offsets.size(), 0);
+  u64 write = 0;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    const u64 begin = offsets[u], end = offsets[u + 1];
+    std::sort(targets.begin() + static_cast<std::ptrdiff_t>(begin),
+              targets.begin() + static_cast<std::ptrdiff_t>(end));
+    u64 kept = write;
+    for (u64 i = begin; i < end; ++i) {
+      if (i > begin && targets[i] == targets[i - 1]) continue;
+      targets[kept++] = targets[i];
+    }
+    write = kept;
+    out_offsets[u + 1] = write;
+  }
+  targets.resize(write);
+  targets.shrink_to_fit();
+  return Graph(std::move(out_offsets), std::move(targets));
+}
+
+}  // namespace srsr::graph

@@ -1,0 +1,51 @@
+// Mutable edge accumulator that finalizes into an immutable CSR Graph.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/common.hpp"
+
+namespace srsr::graph {
+
+/// Collects (source, target) pairs in any order, then builds a Graph
+/// with sorted, deduplicated neighbor lists via counting sort — O(V + E),
+/// no comparison sort of the full edge list.
+class GraphBuilder {
+ public:
+  /// num_nodes fixes the id space [0, num_nodes); edges to/from larger
+  /// ids are a contract violation.
+  explicit GraphBuilder(NodeId num_nodes);
+
+  /// Starts from an existing graph's edges (for incremental attack
+  /// injection: copy, add spam edges, rebuild).
+  explicit GraphBuilder(const Graph& g);
+
+  NodeId num_nodes() const { return num_nodes_; }
+
+  /// Grows the id space to at least `n` nodes (new nodes have no edges).
+  void grow(NodeId n);
+
+  /// Adds a new node, returning its id.
+  NodeId add_node();
+
+  void reserve_edges(std::size_t n) { edges_.reserve(n); }
+
+  /// Records a directed edge u -> v. Duplicates are allowed here and
+  /// collapsed at build time (the Web graph has duplicate hyperlinks;
+  /// CSR stores the distinct link). Self-loops are kept: the source
+  /// graph model requires them.
+  void add_edge(NodeId u, NodeId v);
+
+  std::size_t pending_edges() const { return edges_.size(); }
+
+  /// Finalizes into a Graph; the builder is left empty.
+  Graph build();
+
+ private:
+  NodeId num_nodes_;
+  std::vector<std::pair<NodeId, NodeId>> edges_;
+};
+
+}  // namespace srsr::graph

@@ -1,0 +1,340 @@
+#include "graph/compressed.hpp"
+
+#include <algorithm>
+
+namespace srsr::graph {
+
+namespace {
+
+/// Splits a sorted successor list into maximal intervals of consecutive
+/// ids (length >= kmin) and leftover residuals.
+void split_intervals(std::span<const NodeId> nbrs, u32 kmin,
+                     std::vector<std::pair<NodeId, u32>>& intervals,
+                     std::vector<NodeId>& residuals) {
+  intervals.clear();
+  residuals.clear();
+  std::size_t i = 0;
+  while (i < nbrs.size()) {
+    std::size_t j = i + 1;
+    while (j < nbrs.size() && nbrs[j] == nbrs[j - 1] + 1) ++j;
+    const u32 run = static_cast<u32>(j - i);
+    if (run >= kmin) {
+      intervals.emplace_back(nbrs[i], run);
+    } else {
+      for (std::size_t k = i; k < j; ++k) residuals.push_back(nbrs[k]);
+    }
+    i = j;
+  }
+}
+
+/// Copy-run encoding of `successors` against `ref`: returns the runs
+/// (alternating copied/skipped, starting with copied; everything after
+/// the encoded runs is skipped) and the leftover successors that are
+/// not in ref. Both inputs sorted.
+struct CopyPlan {
+  std::vector<u32> runs;        // run lengths; runs[0] may be 0
+  std::vector<NodeId> copied;   // elements taken from ref
+  std::vector<NodeId> extras;   // successors not present in ref
+};
+
+CopyPlan plan_copy(std::span<const NodeId> successors,
+                   std::span<const NodeId> ref) {
+  CopyPlan plan;
+  // Membership mask over ref.
+  std::vector<bool> take(ref.size(), false);
+  std::size_t si = 0;
+  for (std::size_t ri = 0; ri < ref.size() && si < successors.size();) {
+    if (ref[ri] == successors[si]) {
+      take[ri] = true;
+      ++ri;
+      ++si;
+    } else if (ref[ri] < successors[si]) {
+      ++ri;
+    } else {
+      ++si;
+    }
+  }
+  for (const NodeId s : successors) {
+    const bool in_ref = std::binary_search(ref.begin(), ref.end(), s);
+    if (!in_ref) plan.extras.push_back(s);
+  }
+  for (std::size_t ri = 0; ri < ref.size(); ++ri)
+    if (take[ri]) plan.copied.push_back(ref[ri]);
+
+  // Run-length encode `take`, alternating copied/skipped, first run
+  // copied (possibly length 0); trailing skipped tail is implicit.
+  std::size_t last_copied = 0;  // one past the last copied element
+  for (std::size_t ri = ref.size(); ri > 0; --ri) {
+    if (take[ri - 1]) {
+      last_copied = ri;
+      break;
+    }
+  }
+  bool copying = true;
+  u32 run = 0;
+  for (std::size_t ri = 0; ri < last_copied; ++ri) {
+    if (take[ri] == copying) {
+      ++run;
+      continue;
+    }
+    plan.runs.push_back(run);
+    copying = !copying;
+    run = 1;
+  }
+  if (last_copied > 0) plan.runs.push_back(run);
+  return plan;
+}
+
+}  // namespace
+
+void CompressedGraph::encode_node(BitWriter& w, NodeId u,
+                                  std::span<const NodeId> successors, u32 r,
+                                  std::span<const NodeId> ref) {
+  w.write_gamma(successors.size());
+  if (successors.empty()) return;
+
+  w.write_gamma(r);  // 0 = no reference
+  std::span<const NodeId> extras = successors;
+  CopyPlan plan;
+  if (r > 0) {
+    plan = plan_copy(successors, ref);
+    w.write_gamma(plan.runs.size());
+    for (std::size_t i = 0; i < plan.runs.size(); ++i) {
+      // First run (copied) may be 0; later runs are >= 1.
+      w.write_gamma(i == 0 ? plan.runs[i] : plan.runs[i] - 1);
+    }
+    extras = plan.extras;
+  }
+
+  std::vector<std::pair<NodeId, u32>> intervals;
+  std::vector<NodeId> residuals;
+  split_intervals(extras, kMinIntervalLength, intervals, residuals);
+  w.write_gamma(intervals.size());
+  NodeId prev_end = u;
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const auto [left, len] = intervals[i];
+    if (i == 0) {
+      w.write_zeta(zigzag_encode(static_cast<i64>(left) - static_cast<i64>(u)),
+                   kZetaK);
+    } else {
+      w.write_zeta(left - prev_end - 1, kZetaK);
+    }
+    w.write_gamma(len - kMinIntervalLength);
+    prev_end = left + len;  // one past the run
+  }
+  for (std::size_t i = 0; i < residuals.size(); ++i) {
+    if (i == 0) {
+      w.write_zeta(zigzag_encode(static_cast<i64>(residuals[0]) -
+                                 static_cast<i64>(u)),
+                   kZetaK);
+    } else {
+      w.write_zeta(residuals[i] - residuals[i - 1] - 1, kZetaK);
+    }
+  }
+}
+
+CompressedGraph::CompressedGraph(const Graph& g, Options options)
+    : num_nodes_(g.num_nodes()), num_edges_(g.num_edges()),
+      options_(options) {
+  BitWriter w;
+  offsets_.reserve(static_cast<std::size_t>(num_nodes_) + 1);
+  // Chain depth per node within the trailing window (for the cap).
+  std::vector<u32> chain(num_nodes_, 0);
+
+  BitWriter scratch;
+  for (NodeId u = 0; u < num_nodes_; ++u) {
+    offsets_.push_back(w.bit_count());
+    const auto nbrs = g.out_neighbors(u);
+
+    // Baseline: no reference.
+    scratch = BitWriter();
+    encode_node(scratch, u, nbrs, 0, {});
+    u64 best_bits = scratch.bit_count();
+    u32 best_r = 0;
+
+    if (!nbrs.empty()) {
+      const u32 max_r = std::min<u32>(options_.window, u);
+      for (u32 r = 1; r <= max_r; ++r) {
+        const NodeId cand = u - r;
+        if (chain[cand] >= options_.max_ref_chain) continue;
+        if (g.out_degree(cand) == 0) continue;
+        scratch = BitWriter();
+        encode_node(scratch, u, nbrs, r, g.out_neighbors(cand));
+        if (scratch.bit_count() < best_bits) {
+          best_bits = scratch.bit_count();
+          best_r = r;
+        }
+      }
+    }
+
+    encode_node(w, u, nbrs,
+                best_r, best_r > 0 ? g.out_neighbors(u - best_r)
+                                   : std::span<const NodeId>{});
+    if (best_r > 0) {
+      chain[u] = chain[u - best_r] + 1;
+      ++referenced_nodes_;
+    }
+  }
+  payload_bits_ = w.bit_count();
+  offsets_.push_back(payload_bits_);
+  bits_ = w.finish();
+}
+
+u64 CompressedGraph::out_degree(NodeId u) const {
+  check(u < num_nodes_, "CompressedGraph::out_degree: id out of range");
+  BitReader r(bits_);
+  r.seek_bit(offsets_[u]);
+  return r.read_gamma();
+}
+
+void CompressedGraph::decode(NodeId u, std::vector<NodeId>& out) const {
+  check(u < num_nodes_, "CompressedGraph::decode: id out of range");
+  decode_at(u, out, 0);
+}
+
+void CompressedGraph::decode_at(NodeId u, std::vector<NodeId>& out,
+                                u32 depth) const {
+  check(depth <= options_.max_ref_chain + 1,
+        "CompressedGraph: reference chain too deep (corrupt stream)");
+  decode_record(u, out, [&](NodeId ref_node, std::vector<NodeId>& ref) {
+    decode_at(ref_node, ref, depth + 1);
+  });
+}
+
+template <typename ResolveRef>
+void CompressedGraph::decode_record(NodeId u, std::vector<NodeId>& out,
+                                    ResolveRef&& resolve_ref) const {
+  out.clear();
+  BitReader r(bits_);
+  r.seek_bit(offsets_[u]);
+  const u64 degree = r.read_gamma();
+  if (degree == 0) return;
+
+  const u32 ref_delta = static_cast<u32>(r.read_gamma());
+  std::vector<NodeId> copied;
+  if (ref_delta > 0) {
+    check(ref_delta <= u, "CompressedGraph: bad reference delta");
+    std::vector<NodeId> ref;
+    resolve_ref(u - ref_delta, ref);
+    const u64 num_runs = r.read_gamma();
+    bool copying = true;
+    std::size_t pos = 0;
+    for (u64 b = 0; b < num_runs; ++b) {
+      const u64 raw = r.read_gamma();
+      const u64 len = b == 0 ? raw : raw + 1;
+      check(pos + len <= ref.size(), "CompressedGraph: copy run overflow");
+      if (copying)
+        for (u64 k = 0; k < len; ++k) copied.push_back(ref[pos + k]);
+      pos += len;
+      copying = !copying;
+    }
+  }
+
+  const u64 num_intervals = r.read_gamma();
+  u64 explicit_edges = copied.size();
+  NodeId prev_end = u;
+  std::vector<std::pair<NodeId, u32>> intervals;
+  intervals.reserve(num_intervals);
+  for (u64 i = 0; i < num_intervals; ++i) {
+    NodeId left;
+    if (i == 0) {
+      const i64 delta = zigzag_decode(r.read_zeta(kZetaK));
+      left = static_cast<NodeId>(static_cast<i64>(u) + delta);
+    } else {
+      left = prev_end + static_cast<NodeId>(r.read_zeta(kZetaK)) + 1;
+    }
+    const u32 len = static_cast<u32>(r.read_gamma()) + kMinIntervalLength;
+    intervals.emplace_back(left, len);
+    explicit_edges += len;
+    prev_end = left + len;
+  }
+
+  check(degree >= explicit_edges, "CompressedGraph: corrupt degree");
+  const u64 num_residuals = degree - explicit_edges;
+  std::vector<NodeId> residuals;
+  residuals.reserve(num_residuals);
+  NodeId prev = 0;
+  for (u64 i = 0; i < num_residuals; ++i) {
+    if (i == 0) {
+      const i64 delta = zigzag_decode(r.read_zeta(kZetaK));
+      prev = static_cast<NodeId>(static_cast<i64>(u) + delta);
+    } else {
+      prev = prev + static_cast<NodeId>(r.read_zeta(kZetaK)) + 1;
+    }
+    residuals.push_back(prev);
+  }
+
+  // Three-way merge: copied, interval expansions, residuals — each
+  // individually sorted and mutually disjoint.
+  out.reserve(degree);
+  std::size_t ci = 0, ii = 0, ri = 0;
+  u32 interval_pos = 0;
+  auto interval_value = [&]() {
+    return intervals[ii].first + interval_pos;
+  };
+  while (out.size() < degree) {
+    const bool has_c = ci < copied.size();
+    const bool has_i = ii < intervals.size();
+    const bool has_r = ri < residuals.size();
+    NodeId best = kInvalidNode;
+    int which = -1;
+    if (has_c) {
+      best = copied[ci];
+      which = 0;
+    }
+    if (has_i && (which < 0 || interval_value() < best)) {
+      best = interval_value();
+      which = 1;
+    }
+    if (has_r && (which < 0 || residuals[ri] < best)) {
+      best = residuals[ri];
+      which = 2;
+    }
+    check(which >= 0, "CompressedGraph: merge underflow (corrupt stream)");
+    out.push_back(best);
+    if (which == 0) {
+      ++ci;
+    } else if (which == 1) {
+      if (++interval_pos == intervals[ii].second) {
+        ++ii;
+        interval_pos = 0;
+      }
+    } else {
+      ++ri;
+    }
+  }
+}
+
+Graph CompressedGraph::decompress() const {
+  std::vector<u64> offsets(static_cast<std::size_t>(num_nodes_) + 1, 0);
+  std::vector<NodeId> targets;
+  targets.reserve(num_edges_);
+  std::vector<NodeId> nbrs;
+  Scanner scan(*this);
+  while (scan.next(nbrs)) {
+    targets.insert(targets.end(), nbrs.begin(), nbrs.end());
+    offsets[scan.last() + 1] = targets.size();
+  }
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+CompressedGraph::Scanner::Scanner(const CompressedGraph& g) : graph_(&g) {
+  // window + 1 slots: the current node's slot plus its whole reference
+  // range (references reach at most `window` back).
+  window_.resize(static_cast<std::size_t>(g.options().window) + 1);
+}
+
+bool CompressedGraph::Scanner::next(std::vector<NodeId>& out) {
+  if (next_ >= graph_->num_nodes()) return false;
+  const NodeId u = next_++;
+  graph_->decode_record(u, out,
+                        [&](NodeId ref_node, std::vector<NodeId>& ref) {
+                          // Sequential scan guarantees the referenced
+                          // node was decoded within the window.
+                          ref = window_[ref_node % window_.size()];
+                        });
+  window_[u % window_.size()] = out;
+  return true;
+}
+
+}  // namespace srsr::graph

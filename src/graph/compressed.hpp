@@ -1,0 +1,140 @@
+// BV-style compressed adjacency storage.
+//
+// The paper's data-management layer was the WebGraph compression
+// framework of Boldi & Vigna (WWW 2004); this is a from-scratch C++
+// reimplementation of its successor-list encoding, covering the
+// techniques that give WebGraph its win on web graphs:
+//
+//   - per-node out-degree, gamma-coded;
+//   - reference compression (copy lists): a node may encode its
+//     successors relative to a nearby previous node's list — web pages
+//     on the same site share large chunks of their link lists. The
+//     copied subset is run-length coded over the reference list; the
+//     encoder greedily picks the cheapest reference inside a sliding
+//     window (or none), and reference chains are capped so random
+//     access stays O(chain) decodes;
+//   - interval runs: maximal runs of >= kMinIntervalLength consecutive
+//     leftover successors are stored as (left-extreme gap, length)
+//     pairs — pages link to id-contiguous page blocks (their own site)
+//     all the time;
+//   - residual successors as zeta_k-coded gaps, with the first residual
+//     zig-zag-coded relative to the node id (successor locality).
+//
+// The structure is immutable and supports two access paths: a
+// sequential decode over all nodes (what rank kernels want) and a
+// per-node decode via a stored bit offset (random access, cost
+// proportional to the reference-chain length, bounded by
+// Options::max_ref_chain).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/bitio.hpp"
+
+namespace srsr::graph {
+
+class CompressedGraph {
+ public:
+  /// Gap-code parameter for residuals; 3 is the WebGraph default.
+  static constexpr u32 kZetaK = 3;
+  /// Minimum run length stored as an interval.
+  static constexpr u32 kMinIntervalLength = 4;
+
+  struct Options {
+    /// How many previous nodes the encoder may reference (0 disables
+    /// reference compression entirely).
+    u32 window = 7;
+    /// Maximum reference-chain length; bounds random-access decode
+    /// cost. WebGraph's default neighborhood is 3.
+    u32 max_ref_chain = 3;
+  };
+
+  /// Compresses an existing CSR graph (neighbor lists are already
+  /// sorted, which the encoding requires).
+  explicit CompressedGraph(const Graph& g) : CompressedGraph(g, Options{}) {}
+  CompressedGraph(const Graph& g, Options options);
+
+  NodeId num_nodes() const { return num_nodes_; }
+  u64 num_edges() const { return num_edges_; }
+  const Options& options() const { return options_; }
+
+  /// Out-degree without decoding the successor list.
+  u64 out_degree(NodeId u) const;
+
+  /// Decodes u's successors (sorted) into `out` (cleared first).
+  /// Random access: cost grows with the reference-chain length.
+  void decode(NodeId u, std::vector<NodeId>& out) const;
+
+  /// Sequential full-graph decoder. Keeps the last `window` decoded
+  /// lists cached, so references resolve with a copy instead of a
+  /// recursive decode — the right access path for rank kernels and
+  /// decompress(). Usage:
+  ///   Scanner scan(cg);
+  ///   std::vector<NodeId> nbrs;
+  ///   while (scan.next(nbrs)) { /* nbrs = successors of scan.last() */ }
+  class Scanner {
+   public:
+    explicit Scanner(const CompressedGraph& g);
+    /// Decodes the next node's successors into `out`; returns false
+    /// when all nodes have been scanned.
+    bool next(std::vector<NodeId>& out);
+    /// Node id the most recent next() decoded.
+    NodeId last() const { return next_ - 1; }
+    NodeId upcoming() const { return next_; }
+
+   private:
+    const CompressedGraph* graph_;
+    NodeId next_ = 0;
+    std::vector<std::vector<NodeId>> window_;  // ring, indexed u % size
+  };
+
+  /// Decompresses the whole structure back to CSR. Exact round-trip:
+  /// decompress(CompressedGraph(g)) == g.
+  Graph decompress() const;
+
+  /// Compressed size in bytes (payload + offset index).
+  u64 memory_bytes() const {
+    return bits_.size() + offsets_.size() * sizeof(u64);
+  }
+
+  /// Payload bits per edge (the WebGraph quality metric).
+  f64 bits_per_edge() const {
+    return num_edges_ == 0
+               ? 0.0
+               : static_cast<f64>(payload_bits_) / static_cast<f64>(num_edges_);
+  }
+
+  /// Fraction of nodes that chose a reference (diagnostics).
+  f64 reference_rate() const {
+    return num_nodes_ == 0 ? 0.0
+                           : static_cast<f64>(referenced_nodes_) /
+                                 static_cast<f64>(num_nodes_);
+  }
+
+ private:
+  /// Emits node u's record to `w`, encoding against reference list
+  /// `ref` (empty span = no reference) with reference delta `r`.
+  static void encode_node(BitWriter& w, NodeId u,
+                          std::span<const NodeId> successors, u32 r,
+                          std::span<const NodeId> ref);
+
+  /// Decodes u's record; `resolve_ref` supplies the referenced node's
+  /// successor list when the record uses one (Scanner: window cache;
+  /// random access: recursive decode).
+  template <typename ResolveRef>
+  void decode_record(NodeId u, std::vector<NodeId>& out,
+                     ResolveRef&& resolve_ref) const;
+
+  void decode_at(NodeId u, std::vector<NodeId>& out, u32 depth) const;
+
+  NodeId num_nodes_ = 0;
+  u64 num_edges_ = 0;
+  u64 payload_bits_ = 0;
+  u64 referenced_nodes_ = 0;
+  Options options_;
+  std::vector<u8> bits_;      // concatenated per-node records
+  std::vector<u64> offsets_;  // bit offset of each node's record
+};
+
+}  // namespace srsr::graph

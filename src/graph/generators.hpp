@@ -1,0 +1,38 @@
+// Classic deterministic and random graph generators.
+//
+// The closed-form generators (complete, cycle, star, path) back the
+// analytic PageRank tests — their stationary distributions are known
+// exactly. The random families (Erdős–Rényi, Barabási–Albert) provide
+// structure-free and heavy-tailed fixtures for property tests and
+// solver microbenches. The web-corpus generator, which adds host
+// structure and planted spam, lives in webgen.hpp.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace srsr::graph {
+
+/// All n*(n-1) directed edges (no self-loops).
+Graph complete(NodeId n);
+
+/// Directed cycle 0 -> 1 -> ... -> n-1 -> 0.
+Graph cycle(NodeId n);
+
+/// Directed path 0 -> 1 -> ... -> n-1 (node n-1 dangles).
+Graph path(NodeId n);
+
+/// Star: every leaf 1..n-1 points to hub 0; hub points to all leaves
+/// when `bidirectional`, otherwise the hub dangles.
+Graph star(NodeId n, bool bidirectional);
+
+/// G(n, p): each ordered pair (u,v), u != v, is an edge independently
+/// with probability p. Uses geometric skipping, O(E) expected time.
+Graph erdos_renyi(NodeId n, f64 p, Pcg32& rng);
+
+/// Barabási–Albert preferential attachment: nodes arrive one at a time
+/// and emit `m` edges to earlier nodes chosen proportionally to
+/// (in-degree + 1). Produces heavy-tailed in-degrees.
+Graph barabasi_albert(NodeId n, u32 m, Pcg32& rng);
+
+}  // namespace srsr::graph

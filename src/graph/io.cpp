@@ -1,0 +1,183 @@
+#include "graph/io.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <unordered_map>
+
+#include "graph/builder.hpp"
+#include "util/strings.hpp"
+
+namespace srsr::graph {
+
+namespace {
+constexpr char kMagic[8] = {'S', 'R', 'S', 'R', 'G', 'R', 'P', 'H'};
+constexpr u32 kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T v{};
+  in.read(reinterpret_cast<char*>(&v), sizeof(T));
+  check(in.good(), "read_binary: truncated file");
+  return v;
+}
+}  // namespace
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << "# srsr edge list: " << g.num_nodes() << " nodes, " << g.num_edges()
+      << " edges\n";
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (const NodeId v : g.out_neighbors(u)) out << u << ' ' << v << '\n';
+}
+
+void write_edge_list_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  check(out.good(), "write_edge_list_file: cannot open " + path);
+  write_edge_list(out, g);
+  check(out.good(), "write_edge_list_file: write failed for " + path);
+}
+
+Graph read_edge_list(std::istream& in, NodeId num_nodes) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId max_id = 0;
+  bool any = false;
+  std::string line;
+  u64 lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::string_view body = trim(line);
+    if (body.empty() || body[0] == '#') continue;
+    const auto tokens = split(body);
+    check(tokens.size() == 2, "read_edge_list: line " +
+                                  std::to_string(lineno) +
+                                  ": expected 'u v', got '" + line + "'");
+    const u64 u = parse_u64(tokens[0]);
+    const u64 v = parse_u64(tokens[1]);
+    check(u < kInvalidNode && v < kInvalidNode,
+          "read_edge_list: line " + std::to_string(lineno) + ": id too large");
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    max_id = std::max({max_id, static_cast<NodeId>(u), static_cast<NodeId>(v)});
+    any = true;
+  }
+  const NodeId n = num_nodes != 0 ? num_nodes : (any ? max_id + 1 : 0);
+  GraphBuilder b(n);
+  b.reserve_edges(edges.size());
+  for (const auto& [u, v] : edges) b.add_edge(u, v);
+  return b.build();
+}
+
+Graph read_edge_list_file(const std::string& path, NodeId num_nodes) {
+  std::ifstream in(path);
+  check(in.good(), "read_edge_list_file: cannot open " + path);
+  return read_edge_list(in, num_nodes);
+}
+
+void write_binary(const std::string& path, const Graph& g) {
+  std::ofstream out(path, std::ios::binary);
+  check(out.good(), "write_binary: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<u64>(g.num_nodes()));
+  write_pod(out, g.num_edges());
+  out.write(reinterpret_cast<const char*>(g.offsets().data()),
+            static_cast<std::streamsize>(g.offsets().size() * sizeof(u64)));
+  out.write(reinterpret_cast<const char*>(g.targets().data()),
+            static_cast<std::streamsize>(g.targets().size() * sizeof(NodeId)));
+  check(out.good(), "write_binary: write failed for " + path);
+}
+
+Graph read_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  check(in.good(), "read_binary: cannot open " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  check(in.good() && std::equal(magic, magic + 8, kMagic),
+        "read_binary: bad magic in " + path);
+  const u32 version = read_pod<u32>(in);
+  check(version == kVersion, "read_binary: unsupported version");
+  const u64 n = read_pod<u64>(in);
+  const u64 m = read_pod<u64>(in);
+  check(n < kInvalidNode, "read_binary: node count too large");
+  std::vector<u64> offsets(n + 1);
+  in.read(reinterpret_cast<char*>(offsets.data()),
+          static_cast<std::streamsize>(offsets.size() * sizeof(u64)));
+  std::vector<NodeId> targets(m);
+  in.read(reinterpret_cast<char*>(targets.data()),
+          static_cast<std::streamsize>(targets.size() * sizeof(NodeId)));
+  check(in.good(), "read_binary: truncated file " + path);
+  return Graph(std::move(offsets), std::move(targets));
+}
+
+WebCorpus read_url_corpus(std::istream& pages, std::istream& edges) {
+  WebCorpus corpus;
+  std::unordered_map<std::string, NodeId> host_to_source;
+  std::vector<std::pair<NodeId, NodeId>> page_rows;  // (page id, source id)
+  std::string line;
+  u64 lineno = 0;
+  while (std::getline(pages, line)) {
+    ++lineno;
+    const std::string_view body = trim(line);
+    if (body.empty() || body[0] == '#') continue;
+    const auto tokens = split(body);
+    check(tokens.size() == 2, "read_url_corpus: pages line " +
+                                  std::to_string(lineno) +
+                                  ": expected '<id> <url>'");
+    const u64 id = parse_u64(tokens[0]);
+    check(id < kInvalidNode, "read_url_corpus: page id too large");
+    const std::string host = host_of(tokens[1]);
+    const auto [it, inserted] = host_to_source.emplace(
+        host, static_cast<NodeId>(corpus.source_hosts.size()));
+    if (inserted) corpus.source_hosts.push_back(host);
+    page_rows.emplace_back(static_cast<NodeId>(id), it->second);
+  }
+  check(!page_rows.empty(), "read_url_corpus: no pages");
+
+  const NodeId np = static_cast<NodeId>(page_rows.size());
+  corpus.page_source.assign(np, kInvalidNode);
+  for (const auto& [id, src] : page_rows) {
+    check(id < np, "read_url_corpus: page ids must be dense 0..n-1");
+    check(corpus.page_source[id] == kInvalidNode,
+          "read_url_corpus: duplicate page id " + std::to_string(id));
+    corpus.page_source[id] = src;
+  }
+
+  const u32 ns = static_cast<u32>(corpus.source_hosts.size());
+  corpus.source_is_spam.assign(ns, 0);
+  corpus.source_page_count.assign(ns, 0);
+  corpus.source_first_page.assign(ns, kInvalidNode);
+  for (NodeId p = 0; p < np; ++p) {
+    const NodeId s = corpus.page_source[p];
+    if (corpus.source_first_page[s] == kInvalidNode)
+      corpus.source_first_page[s] = p;
+    ++corpus.source_page_count[s];
+  }
+  corpus.pages = read_edge_list(edges, np);
+  return corpus;
+}
+
+std::vector<NodeId> match_hosts(const WebCorpus& corpus, std::istream& hosts) {
+  std::unordered_map<std::string_view, NodeId> index;
+  index.reserve(corpus.source_hosts.size());
+  for (NodeId s = 0; s < corpus.source_hosts.size(); ++s)
+    index.emplace(corpus.source_hosts[s], s);
+  std::vector<NodeId> out;
+  std::string line;
+  while (std::getline(hosts, line)) {
+    const std::string_view body = trim(line);
+    if (body.empty() || body[0] == '#') continue;
+    const std::string host = to_lower(body);
+    const auto it = index.find(host);
+    if (it != index.end()) out.push_back(it->second);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace srsr::graph

@@ -1,0 +1,47 @@
+// Spam-detection quality metrics.
+//
+// The spam-proximity walk (Sec. 5) is, functionally, a detector: it
+// scores every source by "spamminess" and the kappa policy thresholds
+// that score. These helpers quantify the detector against ground-truth
+// labels — precision/recall at the throttled set, and the full
+// ranking-quality view (average precision, ROC AUC) used by the
+// seed-size ablation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace srsr::metrics {
+
+struct PrecisionRecall {
+  u64 true_positives = 0;
+  u64 false_positives = 0;
+  u64 false_negatives = 0;
+  f64 precision = 0.0;  // TP / (TP + FP); 0 when nothing was flagged
+  f64 recall = 0.0;     // TP / (TP + FN); 0 when nothing is positive
+  f64 f1 = 0.0;         // harmonic mean; 0 when either component is 0
+};
+
+/// Confusion counts of a flagged set against binary labels.
+/// `flagged[i]` != 0 means item i was flagged (e.g. kappa_i == 1);
+/// `labels[i]` != 0 means item i is truly positive (spam).
+PrecisionRecall precision_recall(std::span<const u8> flagged,
+                                 std::span<const u8> labels);
+
+/// Precision@k / recall@k of a score ranking: the k highest-scored
+/// items are treated as flagged (ties broken by lower index).
+PrecisionRecall precision_recall_at_k(std::span<const f64> scores,
+                                      std::span<const u8> labels, u32 k);
+
+/// Average precision (area under the precision-recall curve, computed
+/// at each positive hit down the ranking). 1.0 when every positive
+/// outranks every negative. Requires at least one positive label.
+f64 average_precision(std::span<const f64> scores, std::span<const u8> labels);
+
+/// ROC AUC via the rank-sum (Mann-Whitney) formulation; ties get half
+/// credit. Requires at least one positive and one negative label.
+f64 roc_auc(std::span<const f64> scores, std::span<const u8> labels);
+
+}  // namespace srsr::metrics

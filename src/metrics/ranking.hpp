@@ -1,0 +1,53 @@
+// Rank-vector comparison utilities.
+//
+// The paper reports results in rank space, not score space: percentile
+// jumps of a target (Figs. 6-7), equal-count bucket occupancy of spam
+// sources (Fig. 5), and implicit rank stability. These helpers convert
+// score vectors into those measurements.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace srsr::metrics {
+
+/// Competition ranks by descending score: the highest score gets rank 1.
+/// Equal scores share the smallest rank of their group ("1224" ranking),
+/// so results are permutation-invariant.
+std::vector<u32> ranks_by_score(std::span<const f64> scores);
+
+/// Ranking percentile of node `id` in [0, 100]: the percentage of
+/// *other* nodes ranked strictly below it. 100 = best-ranked, 0 = worst.
+/// (Figs. 6-7 report "average ranking percentile increase" on this
+/// scale: e.g. "from the 19th percentile to the 99th".)
+f64 percentile_of(std::span<const f64> scores, NodeId id);
+
+/// Splits nodes into `num_buckets` equal-count buckets by descending
+/// score (bucket 0 = top-ranked) and returns each node's bucket. When
+/// n is not divisible, the first (n % num_buckets) buckets get one
+/// extra node — matching the paper's "20 buckets of equal number of
+/// sources". Ties are broken by node id for determinism.
+std::vector<u32> equal_count_buckets(std::span<const f64> scores,
+                                     u32 num_buckets);
+
+/// Occupancy of `marked` nodes (e.g. spam sources) per bucket — the
+/// Fig. 5 series.
+std::vector<u64> bucket_occupancy(std::span<const u32> buckets,
+                                  std::span<const NodeId> marked,
+                                  u32 num_buckets);
+
+/// Kendall rank-correlation tau-a between two score vectors over the
+/// same node set, computed in O(n log n) via inversion counting.
+/// 1 = identical order, -1 = reversed.
+f64 kendall_tau(std::span<const f64> a, std::span<const f64> b);
+
+/// Spearman footrule distance, normalized to [0, 1] (0 = identical
+/// rank vectors).
+f64 spearman_footrule(std::span<const f64> a, std::span<const f64> b);
+
+/// |top-k(a) ∩ top-k(b)| / k.
+f64 top_k_overlap(std::span<const f64> a, std::span<const f64> b, u32 k);
+
+}  // namespace srsr::metrics

@@ -1,0 +1,88 @@
+#include "rank/gauss_seidel.hpp"
+
+#include "util/timer.hpp"
+
+namespace srsr::rank {
+
+RankResult gauss_seidel_solve(const StochasticMatrix& matrix,
+                              const SolverConfig& config) {
+  check(config.alpha >= 0.0 && config.alpha < 1.0,
+        "gauss_seidel: alpha must be in [0, 1)");
+  const NodeId n = matrix.num_rows();
+  RankResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  WallTimer timer;
+
+  std::vector<f64> teleport;
+  if (config.teleport) {
+    teleport = *config.teleport;
+    check(teleport.size() == n, "gauss_seidel: teleport size mismatch");
+    f64 sum = 0.0;
+    for (const f64 v : teleport) {
+      check(v >= 0.0, "gauss_seidel: teleport entries must be non-negative");
+      sum += v;
+    }
+    check(sum > 0.0, "gauss_seidel: teleport must have positive mass");
+    for (f64& v : teleport) v /= sum;
+  } else {
+    teleport.assign(n, 1.0 / static_cast<f64>(n));
+  }
+
+  const StochasticMatrix pull = matrix.transpose();
+  const f64 alpha = config.alpha;
+
+  // Per-row self weights (for the implicit diagonal solve).
+  std::vector<f64> self(n, 0.0);
+  for (NodeId v = 0; v < n; ++v) {
+    const auto cs = pull.row_cols(v);
+    const auto ws = pull.row_weights(v);
+    for (std::size_t i = 0; i < cs.size(); ++i)
+      if (cs[i] == v) self[v] += ws[i];
+  }
+
+  std::vector<f64> x(n, 1.0 / static_cast<f64>(n));
+  if (config.initial) {
+    const auto& init = *config.initial;
+    check(init.size() == n, "gauss_seidel: initial size mismatch");
+    f64 sum = 0.0;
+    for (const f64 v : init) {
+      check(v >= 0.0, "gauss_seidel: initial entries must be non-negative");
+      sum += v;
+    }
+    check(sum > 0.0, "gauss_seidel: initial must have positive mass");
+    for (NodeId v = 0; v < n; ++v) x[v] = init[v] / sum;
+  }
+  std::vector<f64> prev(n);
+
+  for (u32 iter = 0; iter < config.convergence.max_iterations; ++iter) {
+    prev = x;
+    for (NodeId v = 0; v < n; ++v) {
+      const auto cs = pull.row_cols(v);
+      const auto ws = pull.row_weights(v);
+      f64 acc = 0.0;
+      for (std::size_t i = 0; i < cs.size(); ++i)
+        if (cs[i] != v) acc += x[cs[i]] * ws[i];
+      const f64 denom = 1.0 - alpha * self[v];
+      x[v] = (alpha * acc + (1.0 - alpha) * teleport[v]) / denom;
+    }
+    result.iterations = iter + 1;
+    result.residual = config.convergence.distance(prev, x);
+    if (result.residual < config.convergence.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  f64 sum = 0.0;
+  for (const f64 v : x) sum += v;
+  if (sum > 0.0)
+    for (f64& v : x) v /= sum;
+  result.scores = std::move(x);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace srsr::rank

@@ -1,0 +1,64 @@
+#include "rank/hits.hpp"
+
+#include <cmath>
+
+#include "graph/transforms.hpp"
+#include "util/parallel.hpp"
+
+namespace srsr::rank {
+
+namespace {
+void l2_normalize(std::vector<f64>& v) {
+  f64 ss = 0.0;
+  for (const f64 x : v) ss += x * x;
+  const f64 norm = std::sqrt(ss);
+  if (norm > 0.0)
+    for (f64& x : v) x /= norm;
+}
+}  // namespace
+
+HitsResult hits(const graph::Graph& g, const HitsConfig& config) {
+  const NodeId n = g.num_nodes();
+  HitsResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  const graph::Graph rev = graph::reverse(g);
+
+  std::vector<f64> auth(n, 1.0 / std::sqrt(static_cast<f64>(n)));
+  std::vector<f64> hub(n, 1.0 / std::sqrt(static_cast<f64>(n)));
+  std::vector<f64> prev_auth(n);
+
+  for (u32 iter = 0; iter < config.convergence.max_iterations; ++iter) {
+    prev_auth = auth;
+    // a(v) = sum of h(u) over in-neighbors u of v.
+    parallel_for(0, n, [&](std::size_t v) {
+      f64 acc = 0.0;
+      for (const NodeId u : rev.out_neighbors(static_cast<NodeId>(v)))
+        acc += hub[u];
+      auth[v] = acc;
+    });
+    l2_normalize(auth);
+    // h(u) = sum of a(v) over out-neighbors v of u.
+    parallel_for(0, n, [&](std::size_t u) {
+      f64 acc = 0.0;
+      for (const NodeId v : g.out_neighbors(static_cast<NodeId>(u)))
+        acc += auth[v];
+      hub[u] = acc;
+    });
+    l2_normalize(hub);
+
+    result.iterations = iter + 1;
+    result.residual = config.convergence.distance(prev_auth, auth);
+    if (result.residual < config.convergence.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.authorities = std::move(auth);
+  result.hubs = std::move(hub);
+  return result;
+}
+
+}  // namespace srsr::rank

@@ -1,0 +1,31 @@
+// HITS (Kleinberg 1999): hub and authority scores.
+//
+// Included as the second link-based baseline the paper names among the
+// algorithms its vulnerabilities apply to (Sec. 1-2). Mutual
+// reinforcement: a(v) = sum_{u->v} h(u), h(u) = sum_{u->v} a(v), with
+// L2 normalization each round.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rank/convergence.hpp"
+#include "util/common.hpp"
+
+namespace srsr::rank {
+
+struct HitsConfig {
+  Convergence convergence;
+};
+
+struct HitsResult {
+  std::vector<f64> authorities;  // L2-normalized
+  std::vector<f64> hubs;         // L2-normalized
+  u32 iterations = 0;
+  f64 residual = 0.0;
+  bool converged = false;
+};
+
+HitsResult hits(const graph::Graph& g, const HitsConfig& config = {});
+
+}  // namespace srsr::rank

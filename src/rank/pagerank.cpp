@@ -1,0 +1,98 @@
+#include "rank/pagerank.hpp"
+
+#include <cmath>
+
+#include "graph/transforms.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace srsr::rank {
+
+namespace {
+
+/// Validates a teleport distribution and returns a normalized copy.
+std::vector<f64> normalize_teleport(const std::vector<f64>& t, NodeId n) {
+  check(t.size() == n, "PageRank: teleport vector size mismatch");
+  f64 sum = 0.0;
+  for (const f64 v : t) {
+    check(v >= 0.0, "PageRank: teleport entries must be non-negative");
+    sum += v;
+  }
+  check(sum > 0.0, "PageRank: teleport vector must have positive mass");
+  std::vector<f64> out(t);
+  for (f64& v : out) v /= sum;
+  return out;
+}
+
+}  // namespace
+
+PageRank::PageRank(const graph::Graph& g)
+    : graph_(&g), reverse_(graph::reverse(g)) {
+  const NodeId n = g.num_nodes();
+  inv_out_degree_.resize(n);
+  for (NodeId u = 0; u < n; ++u) {
+    const u64 d = g.out_degree(u);
+    inv_out_degree_[u] = d == 0 ? 0.0 : 1.0 / static_cast<f64>(d);
+    if (d == 0) dangling_.push_back(u);
+  }
+}
+
+RankResult PageRank::solve(const PageRankConfig& config) const {
+  check(config.alpha >= 0.0 && config.alpha < 1.0,
+        "PageRank: alpha must be in [0, 1)");
+  const NodeId n = graph_->num_nodes();
+  RankResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  WallTimer timer;
+
+  std::vector<f64> teleport =
+      config.teleport ? normalize_teleport(*config.teleport, n)
+                      : std::vector<f64>(n, 1.0 / static_cast<f64>(n));
+
+  std::vector<f64> cur =
+      config.initial ? normalize_teleport(*config.initial, n)
+                     : std::vector<f64>(n, 1.0 / static_cast<f64>(n));
+  std::vector<f64> next(n, 0.0);
+  const f64 alpha = config.alpha;
+
+  for (u32 iter = 0; iter < config.convergence.max_iterations; ++iter) {
+    // Mass parked on dangling pages teleports.
+    f64 dangling_mass = 0.0;
+    for (const NodeId u : dangling_) dangling_mass += cur[u];
+
+    parallel_for(0, n, [&](std::size_t v) {
+      f64 acc = 0.0;
+      for (const NodeId u : reverse_.out_neighbors(static_cast<NodeId>(v)))
+        acc += cur[u] * inv_out_degree_[u];
+      next[v] = alpha * (acc + dangling_mass * teleport[v]) +
+                (1.0 - alpha) * teleport[v];
+    });
+
+    result.iterations = iter + 1;
+    result.residual = config.convergence.distance(cur, next);
+    cur.swap(next);
+    if (result.residual < config.convergence.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Guard against drift: renormalize to an exact distribution.
+  f64 sum = 0.0;
+  for (const f64 v : cur) sum += v;
+  if (sum > 0.0)
+    for (f64& v : cur) v /= sum;
+
+  result.scores = std::move(cur);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+RankResult pagerank(const graph::Graph& g, const PageRankConfig& config) {
+  return PageRank(g).solve(config);
+}
+
+}  // namespace srsr::rank

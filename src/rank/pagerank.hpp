@@ -1,0 +1,62 @@
+// PageRank over an unweighted page graph (Page et al., 1998).
+//
+// This is the baseline the paper attacks: pi = alpha * M^T pi + (1-alpha) e
+// (Eq. 1), solved by the power method on the teleportation-completed
+// Markov chain. Implementation notes:
+//
+//   - Pull iteration over the reverse graph: next[v] is accumulated from
+//     v's in-neighbors, so rows parallelize with no atomics (the reverse
+//     graph is built once per solver, reused across re-runs on the same
+//     topology — the attack harness re-ranks many variants).
+//   - Dangling pages: their mass is redistributed according to the
+//     teleport vector every iteration (the standard strong-preference
+//     completion), keeping the iterate a probability distribution.
+//   - Personalized teleport: pass a non-uniform `teleport` distribution
+//     (used by TrustRank and by the paper's spam-proximity walk).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rank/convergence.hpp"
+#include "rank/result.hpp"
+
+namespace srsr::rank {
+
+struct PageRankConfig {
+  /// Mixing parameter alpha (the paper uses 0.85 throughout).
+  f64 alpha = 0.85;
+  Convergence convergence;
+  /// Optional teleport distribution (size n, non-negative, sum ~1);
+  /// default is the uniform vector e = (1/n, ..., 1/n).
+  std::optional<std::vector<f64>> teleport;
+  /// Optional warm start (size n, non-negative, positive mass; it is
+  /// normalized before use). The attack harness re-ranks graphs that
+  /// differ by a handful of edges; starting from the previous solution
+  /// typically cuts iterations severalfold. The fixed point is
+  /// unchanged — only the path to it.
+  std::optional<std::vector<f64>> initial;
+};
+
+/// Reusable PageRank solver bound to one graph topology.
+class PageRank {
+ public:
+  explicit PageRank(const graph::Graph& g);
+
+  /// Runs the power method from the uniform start vector.
+  RankResult solve(const PageRankConfig& config) const;
+
+  const graph::Graph& graph() const { return *graph_; }
+
+ private:
+  const graph::Graph* graph_;       // non-owning; must outlive the solver
+  graph::Graph reverse_;            // transposed topology for pull iteration
+  std::vector<f64> inv_out_degree_; // 1/out_degree, 0 for dangling
+  std::vector<NodeId> dangling_;
+};
+
+/// One-shot convenience wrapper.
+RankResult pagerank(const graph::Graph& g, const PageRankConfig& config = {});
+
+}  // namespace srsr::rank

@@ -1,0 +1,124 @@
+#include "rank/push.hpp"
+
+#include <cmath>
+#include <deque>
+
+#include "util/timer.hpp"
+
+namespace srsr::rank {
+
+namespace {
+
+std::vector<f64> make_teleport(const PushConfig& config, NodeId n) {
+  if (!config.teleport) return std::vector<f64>(n, 1.0 / static_cast<f64>(n));
+  const auto& t = *config.teleport;
+  check(t.size() == n, "push: teleport size mismatch");
+  f64 sum = 0.0;
+  for (const f64 v : t) {
+    check(v >= 0.0, "push: teleport entries must be non-negative");
+    sum += v;
+  }
+  check(sum > 0.0, "push: teleport must have positive mass");
+  std::vector<f64> out(t);
+  for (f64& v : out) v /= sum;
+  return out;
+}
+
+/// Core loop: pushes residual mass until every |r_u| < epsilon.
+PushResult run_push(const StochasticMatrix& matrix, const PushConfig& config,
+                    std::vector<f64> p, std::vector<f64> r) {
+  check(config.alpha >= 0.0 && config.alpha < 1.0,
+        "push: alpha must be in [0, 1)");
+  check(config.epsilon > 0.0, "push: epsilon must be positive");
+  const NodeId n = matrix.num_rows();
+  const f64 alpha = config.alpha;
+  PushResult result;
+  WallTimer timer;
+
+  std::deque<NodeId> queue;
+  std::vector<bool> in_queue(n, false);
+  std::vector<bool> ever_pushed(n, false);
+  for (NodeId u = 0; u < n; ++u) {
+    if (std::abs(r[u]) >= config.epsilon) {
+      queue.push_back(u);
+      in_queue[u] = true;
+    }
+  }
+
+  while (!queue.empty()) {
+    if (config.max_pushes != 0 && result.pushes >= config.max_pushes) break;
+    const NodeId u = queue.front();
+    queue.pop_front();
+    in_queue[u] = false;
+    const f64 ru = r[u];
+    if (std::abs(ru) < config.epsilon) continue;
+    ++result.pushes;
+    if (!ever_pushed[u]) {
+      ever_pushed[u] = true;
+      ++result.touched;
+    }
+    p[u] += (1.0 - alpha) * ru;
+    r[u] = 0.0;
+    const auto cs = matrix.row_cols(u);
+    const auto ws = matrix.row_weights(u);
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      const NodeId v = cs[i];
+      r[v] += alpha * ws[i] * ru;
+      if (!in_queue[v] && std::abs(r[v]) >= config.epsilon) {
+        queue.push_back(v);
+        in_queue[v] = true;
+      }
+    }
+  }
+
+  result.converged = true;
+  for (const f64 v : r) {
+    result.max_residual = std::max(result.max_residual, std::abs(v));
+    if (std::abs(v) >= config.epsilon) result.converged = false;
+  }
+
+  // Tiny negative leftovers can survive signed pushes (bounded by the
+  // residual tolerance); clamp before normalizing to a distribution.
+  f64 sum = 0.0;
+  for (f64& v : p) {
+    if (v < 0.0) v = 0.0;
+    sum += v;
+  }
+  if (sum > 0.0)
+    for (f64& v : p) v /= sum;
+  result.scores = std::move(p);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace
+
+PushResult push_solve(const StochasticMatrix& matrix,
+                      const PushConfig& config) {
+  const NodeId n = matrix.num_rows();
+  std::vector<f64> p(n, 0.0);
+  std::vector<f64> r = make_teleport(config, n);
+  return run_push(matrix, config, std::move(p), std::move(r));
+}
+
+PushResult push_update(const StochasticMatrix& matrix,
+                       const PushConfig& config,
+                       std::span<const f64> old_scores) {
+  const NodeId n = matrix.num_rows();
+  check(old_scores.size() == n, "push_update: old solution size mismatch");
+  const std::vector<f64> teleport = make_teleport(config, n);
+  const f64 alpha = config.alpha;
+
+  // Signed defect residual: r = (alpha*A^T x + (1-alpha)c - x)/(1-alpha).
+  std::vector<f64> p(old_scores.begin(), old_scores.end());
+  std::vector<f64> pulled(n, 0.0);
+  matrix.left_multiply(p, pulled);
+  std::vector<f64> r(n);
+  for (NodeId u = 0; u < n; ++u) {
+    r[u] = (alpha * pulled[u] + (1.0 - alpha) * teleport[u] - p[u]) /
+           (1.0 - alpha);
+  }
+  return run_push(matrix, config, std::move(p), std::move(r));
+}
+
+}  // namespace srsr::rank

@@ -1,0 +1,75 @@
+// Gauss-Southwell residual push: local and incremental PageRank.
+//
+// Solves the same linear system as jacobi_solve,
+//
+//   x = alpha * A^T x + (1-alpha) * c,
+//
+// by maintaining an estimate p and a residual r with the invariant
+//
+//   x = p + (1-alpha) * (I - alpha*A^T)^{-1} r,
+//
+// initialized as p = 0, r = c. A push at node u moves its residual into
+// the estimate and forwards alpha-scaled residual along u's out-edges:
+//
+//   p_u += (1-alpha) * r_u;   r_v += alpha * w_uv * r_u;   r_u = 0.
+//
+// Work is proportional to the residual mass actually moved, not to the
+// graph size — which enables the two things the power method cannot do:
+//
+//   - LOCAL solves: with a concentrated teleport c, only the
+//     neighborhood that matters is ever touched;
+//   - INCREMENTAL updates (push_update): after the matrix changes from
+//     A to A', re-seed p with the old solution and the residual with
+//     the (signed!) defect
+//       r = (alpha*A'^T x_old + (1-alpha)c - x_old) / (1-alpha),
+//     then push; for a handful of edited rows the defect is supported
+//     on their out-neighborhoods only, so the update cost scales with
+//     the edit, not the graph. Residuals may be negative; pushes handle
+//     both signs.
+//
+// Scores are returned L1-normalized like the other solvers.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "rank/stochastic.hpp"
+#include "util/common.hpp"
+
+namespace srsr::rank {
+
+struct PushConfig {
+  f64 alpha = 0.85;
+  /// Push until every |r_u| < epsilon. The unnormalized solution error
+  /// is bounded by ||r||_1, so epsilon ~ tol/n matches a power-method
+  /// L1 tolerance of tol.
+  f64 epsilon = 1e-12;
+  /// Safety cap on total pushes (0 = no cap).
+  u64 max_pushes = 0;
+  /// Teleport / seed distribution c; uniform when absent. A sparse c
+  /// (e.g. one source) makes the solve local.
+  std::optional<std::vector<f64>> teleport;
+};
+
+struct PushResult {
+  std::vector<f64> scores;  // L1-normalized
+  u64 pushes = 0;           // total push operations performed
+  u64 touched = 0;          // distinct nodes ever pushed
+  f64 max_residual = 0.0;   // on exit
+  bool converged = false;
+  f64 seconds = 0.0;
+};
+
+/// Full solve from scratch (p = 0, r = c).
+PushResult push_solve(const StochasticMatrix& matrix,
+                      const PushConfig& config);
+
+/// Incremental re-solve: `old_scores` is a previous solution (for a
+/// similar matrix, same dimension; normalization does not matter). The
+/// defect residual is computed against `matrix` and pushed to
+/// convergence.
+PushResult push_update(const StochasticMatrix& matrix,
+                       const PushConfig& config,
+                       std::span<const f64> old_scores);
+
+}  // namespace srsr::rank

@@ -1,0 +1,24 @@
+// Result type shared by every rank solver.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace srsr::rank {
+
+struct RankResult {
+  /// Per-node scores; non-negative and normalized to sum 1 (probability
+  /// interpretation) unless a solver documents otherwise.
+  std::vector<f64> scores;
+  /// Iterations actually executed.
+  u32 iterations = 0;
+  /// Final successive-iterate distance under the requested norm.
+  f64 residual = 0.0;
+  /// False when the solver hit max_iterations before the tolerance.
+  bool converged = false;
+  /// Wall-clock solve time.
+  f64 seconds = 0.0;
+};
+
+}  // namespace srsr::rank

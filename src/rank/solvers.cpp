@@ -1,0 +1,112 @@
+#include "rank/solvers.hpp"
+
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace srsr::rank {
+
+namespace {
+
+std::vector<f64> make_teleport(const SolverConfig& config, NodeId n) {
+  if (!config.teleport) return std::vector<f64>(n, 1.0 / static_cast<f64>(n));
+  const auto& t = *config.teleport;
+  check(t.size() == n, "solver: teleport vector size mismatch");
+  f64 sum = 0.0;
+  for (const f64 v : t) {
+    check(v >= 0.0, "solver: teleport entries must be non-negative");
+    sum += v;
+  }
+  check(sum > 0.0, "solver: teleport vector must have positive mass");
+  std::vector<f64> out(t);
+  for (f64& v : out) v /= sum;
+  return out;
+}
+
+/// Shared pull-iteration driver. `complete_deficits` selects the Markov
+/// completion (power method: per-row probability deficits — dangling
+/// rows and throttle-discarded mass — are re-routed to the teleport
+/// distribution) vs the raw linear form (Jacobi: deficit mass simply
+/// evaporates and the final normalization absorbs it).
+RankResult iterate(const StochasticMatrix& matrix, const SolverConfig& config,
+                   bool complete_deficits) {
+  check(config.alpha >= 0.0 && config.alpha < 1.0,
+        "solver: alpha must be in [0, 1)");
+  const NodeId n = matrix.num_rows();
+  RankResult result;
+  if (n == 0) {
+    result.converged = true;
+    return result;
+  }
+  WallTimer timer;
+
+  const std::vector<f64> teleport = make_teleport(config, n);
+  const StochasticMatrix pull = matrix.transpose();
+  const std::vector<f64> deficits = matrix.row_deficits();
+  const f64 alpha = config.alpha;
+
+  std::vector<f64> cur = [&] {
+    if (!config.initial) return std::vector<f64>(n, 1.0 / static_cast<f64>(n));
+    const auto& init = *config.initial;
+    check(init.size() == n, "solver: initial vector size mismatch");
+    f64 sum = 0.0;
+    for (const f64 v : init) {
+      check(v >= 0.0, "solver: initial entries must be non-negative");
+      sum += v;
+    }
+    check(sum > 0.0, "solver: initial vector must have positive mass");
+    std::vector<f64> out(init);
+    for (f64& v : out) v /= sum;
+    return out;
+  }();
+  std::vector<f64> next(n, 0.0);
+
+  for (u32 iter = 0; iter < config.convergence.max_iterations; ++iter) {
+    f64 deficit_mass = 0.0;
+    if (complete_deficits) {
+      deficit_mass = parallel_sum(
+          0, n, [&](std::size_t r) { return cur[r] * deficits[r]; });
+    }
+
+    parallel_for(0, n, [&](std::size_t v) {
+      const auto cs = pull.row_cols(static_cast<NodeId>(v));
+      const auto ws = pull.row_weights(static_cast<NodeId>(v));
+      f64 acc = 0.0;
+      for (std::size_t i = 0; i < cs.size(); ++i) acc += cur[cs[i]] * ws[i];
+      next[v] = alpha * (acc + deficit_mass * teleport[v]) +
+                (1.0 - alpha) * teleport[v];
+    });
+
+    result.iterations = iter + 1;
+    result.residual = config.convergence.distance(cur, next);
+    cur.swap(next);
+    if (result.residual < config.convergence.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Normalize to a distribution: exact for the power route, and the
+  // paper's sigma/||sigma|| step for the linear route.
+  f64 sum = 0.0;
+  for (const f64 v : cur) sum += v;
+  if (sum > 0.0)
+    for (f64& v : cur) v /= sum;
+
+  result.scores = std::move(cur);
+  result.seconds = timer.seconds();
+  return result;
+}
+
+}  // namespace
+
+RankResult power_solve(const StochasticMatrix& matrix,
+                       const SolverConfig& config) {
+  return iterate(matrix, config, /*complete_deficits=*/true);
+}
+
+RankResult jacobi_solve(const StochasticMatrix& matrix,
+                        const SolverConfig& config) {
+  return iterate(matrix, config, /*complete_deficits=*/false);
+}
+
+}  // namespace srsr::rank

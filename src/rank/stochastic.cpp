@@ -1,0 +1,149 @@
+#include "rank/stochastic.hpp"
+
+#include <cmath>
+
+namespace srsr::rank {
+
+namespace {
+constexpr f64 kRowSumTolerance = 1e-9;
+}
+
+StochasticMatrix::StochasticMatrix(std::vector<u64> offsets,
+                                   std::vector<NodeId> cols,
+                                   std::vector<f64> weights)
+    : StochasticMatrix(std::move(offsets), std::move(cols), std::move(weights),
+                       false) {}
+
+StochasticMatrix::StochasticMatrix(std::vector<u64> offsets,
+                                   std::vector<NodeId> cols,
+                                   std::vector<f64> weights,
+                                   bool skip_validation)
+    : offsets_(std::move(offsets)),
+      cols_(std::move(cols)),
+      weights_(std::move(weights)) {
+  check(!offsets_.empty() && offsets_.front() == 0 &&
+            offsets_.back() == cols_.size() && cols_.size() == weights_.size(),
+        "StochasticMatrix: inconsistent CSR arrays");
+  if (skip_validation) return;
+  const NodeId n = num_rows();
+  for (NodeId r = 0; r < n; ++r) {
+    check(offsets_[r] <= offsets_[r + 1],
+          "StochasticMatrix: offsets must be monotone");
+    f64 sum = 0.0;
+    for (u64 i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+      check(cols_[i] < n, "StochasticMatrix: column out of range");
+      check(weights_[i] >= 0.0, "StochasticMatrix: negative weight");
+      sum += weights_[i];
+    }
+    check(sum <= 1.0 + kRowSumTolerance,
+          "StochasticMatrix: row " + std::to_string(r) + " sums to " +
+              std::to_string(sum) + ", expected <= 1");
+  }
+}
+
+StochasticMatrix StochasticMatrix::uniform_from_graph(const graph::Graph& g) {
+  std::vector<u64> offsets = g.offsets();
+  std::vector<NodeId> cols = g.targets();
+  std::vector<f64> weights(cols.size());
+  for (NodeId u = 0; u < g.num_nodes(); ++u) {
+    const u64 d = g.out_degree(u);
+    const f64 w = d == 0 ? 0.0 : 1.0 / static_cast<f64>(d);
+    for (u64 i = offsets[u]; i < offsets[u + 1]; ++i) weights[i] = w;
+  }
+  return StochasticMatrix(std::move(offsets), std::move(cols),
+                          std::move(weights), true);
+}
+
+StochasticMatrix StochasticMatrix::from_rows(
+    NodeId n, const std::vector<std::vector<std::pair<NodeId, f64>>>& rows) {
+  check(rows.size() == n, "StochasticMatrix::from_rows: row count mismatch");
+  std::vector<u64> offsets(static_cast<std::size_t>(n) + 1, 0);
+  std::vector<NodeId> cols;
+  std::vector<f64> weights;
+  for (NodeId r = 0; r < n; ++r) {
+    f64 total = 0.0;
+    for (const auto& [c, w] : rows[r]) {
+      check(c < n, "StochasticMatrix::from_rows: column out of range");
+      check(w >= 0.0, "StochasticMatrix::from_rows: negative weight");
+      total += w;
+    }
+    for (const auto& [c, w] : rows[r]) {
+      if (total <= 0.0) break;  // dangling row: drop zero-mass entries
+      cols.push_back(c);
+      weights.push_back(w / total);
+    }
+    offsets[r + 1] = cols.size();
+  }
+  return StochasticMatrix(std::move(offsets), std::move(cols),
+                          std::move(weights), true);
+}
+
+f64 StochasticMatrix::weight(NodeId r, NodeId c) const {
+  check(r < num_rows() && c < num_rows(),
+        "StochasticMatrix::weight: index out of range");
+  const auto cs = row_cols(r);
+  const auto ws = row_weights(r);
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    if (cs[i] == c) return ws[i];
+  return 0.0;
+}
+
+f64 StochasticMatrix::row_sum(NodeId r) const {
+  check(r < num_rows(), "StochasticMatrix::row_sum: index out of range");
+  f64 sum = 0.0;
+  for (const f64 w : row_weights(r)) sum += w;
+  return sum;
+}
+
+std::vector<NodeId> StochasticMatrix::dangling_rows() const {
+  std::vector<NodeId> out;
+  for (NodeId r = 0; r < num_rows(); ++r)
+    if (is_dangling_row(r)) out.push_back(r);
+  return out;
+}
+
+std::vector<f64> StochasticMatrix::row_deficits() const {
+  std::vector<f64> out(num_rows(), 0.0);
+  for (NodeId r = 0; r < num_rows(); ++r) {
+    const f64 deficit = 1.0 - row_sum(r);
+    out[r] = deficit > 0.0 ? deficit : 0.0;
+  }
+  return out;
+}
+
+void StochasticMatrix::left_multiply(std::span<const f64> x,
+                                     std::span<f64> y) const {
+  check(x.size() == num_rows() && y.size() == num_rows(),
+        "StochasticMatrix::left_multiply: size mismatch");
+  for (f64& v : y) v = 0.0;
+  for (NodeId r = 0; r < num_rows(); ++r) {
+    const f64 xr = x[r];
+    if (xr == 0.0) continue;
+    const auto cs = row_cols(r);
+    const auto ws = row_weights(r);
+    for (std::size_t i = 0; i < cs.size(); ++i) y[cs[i]] += xr * ws[i];
+  }
+}
+
+StochasticMatrix StochasticMatrix::transpose() const {
+  const NodeId n = num_rows();
+  std::vector<u64> offsets(static_cast<std::size_t>(n) + 1, 0);
+  for (const NodeId c : cols_) ++offsets[c + 1];
+  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
+  std::vector<NodeId> cols(cols_.size());
+  std::vector<f64> weights(weights_.size());
+  std::vector<u64> cursor(offsets.begin(), offsets.end() - 1);
+  for (NodeId r = 0; r < n; ++r) {
+    for (u64 i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+      const u64 slot = cursor[cols_[i]]++;
+      cols[slot] = r;
+      weights[slot] = weights_[i];
+    }
+  }
+  // The transpose of a stochastic matrix is generally not stochastic;
+  // bypass row-sum validation.
+  return StochasticMatrix(std::move(offsets), std::move(cols),
+                          std::move(weights), true);
+}
+
+}  // namespace srsr::rank

@@ -1,0 +1,84 @@
+// Row-(sub)stochastic sparse matrices in CSR form.
+//
+// PageRank works on the uniform transition matrix M of a page graph;
+// Spam-Resilient SourceRank works on weighted source matrices T, T' and
+// T''. This class is the shared representation: CSR rows of (column,
+// weight) pairs with every row summing to AT MOST 1. A row sum below 1
+// is a *deficit* row: the missing probability mass is surrendered to
+// the teleport distribution by the power solver (dangling rows, sum 0,
+// are the extreme case; the teleport-discard throttling mode produces
+// intermediate deficits). The solvers iterate the *transpose* (pull
+// form) so that rows can be processed in parallel without atomics —
+// build the matrix once, transpose once, iterate many times.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/common.hpp"
+
+namespace srsr::rank {
+
+class StochasticMatrix {
+ public:
+  StochasticMatrix() : offsets_(1, 0) {}
+
+  /// CSR construction; weights must be non-negative, each row sum must
+  /// be <= 1 (tolerance 1e-9). Rows below 1 carry a deficit (see class
+  /// comment); rows of exactly 0 entries are dangling.
+  StochasticMatrix(std::vector<u64> offsets, std::vector<NodeId> cols,
+                   std::vector<f64> weights);
+
+  /// The PageRank matrix M of a graph: row u has weight 1/out_degree(u)
+  /// on each successor; dangling rows are all-zero.
+  static StochasticMatrix uniform_from_graph(const graph::Graph& g);
+
+  /// Builds from raw per-row entries, normalizing each row to sum 1
+  /// (rows with zero total stay dangling). Entries within a row must
+  /// have distinct columns; column order is preserved.
+  static StochasticMatrix from_rows(
+      NodeId n, const std::vector<std::vector<std::pair<NodeId, f64>>>& rows);
+
+  NodeId num_rows() const { return static_cast<NodeId>(offsets_.size() - 1); }
+  u64 num_entries() const { return offsets_.back(); }
+
+  std::span<const NodeId> row_cols(NodeId r) const {
+    return {cols_.data() + offsets_[r], cols_.data() + offsets_[r + 1]};
+  }
+  std::span<const f64> row_weights(NodeId r) const {
+    return {weights_.data() + offsets_[r], weights_.data() + offsets_[r + 1]};
+  }
+
+  /// Weight of entry (r, c), or 0 when absent. O(row length).
+  f64 weight(NodeId r, NodeId c) const;
+
+  f64 row_sum(NodeId r) const;
+  bool is_dangling_row(NodeId r) const { return offsets_[r] == offsets_[r + 1]; }
+  std::vector<NodeId> dangling_rows() const;
+
+  /// Per-row probability deficit: max(0, 1 - row_sum(r)). 1 for
+  /// dangling rows, 0 for fully stochastic rows.
+  std::vector<f64> row_deficits() const;
+
+  /// y = x^T * A  (i.e. y_c = sum_r x_r * A_{r,c}); serial scatter form.
+  void left_multiply(std::span<const f64> x, std::span<f64> y) const;
+
+  /// Transposed copy (entries (r,c,w) -> (c,r,w)), used by pull solvers.
+  StochasticMatrix transpose() const;
+
+  u64 memory_bytes() const {
+    return offsets_.size() * sizeof(u64) + cols_.size() * sizeof(NodeId) +
+           weights_.size() * sizeof(f64);
+  }
+
+ private:
+  StochasticMatrix(std::vector<u64> offsets, std::vector<NodeId> cols,
+                   std::vector<f64> weights, bool skip_validation);
+
+  std::vector<u64> offsets_;
+  std::vector<NodeId> cols_;
+  std::vector<f64> weights_;
+};
+
+}  // namespace srsr::rank

@@ -1,0 +1,29 @@
+// TrustRank (Gyongyi, Garcia-Molina & Pedersen, VLDB 2004).
+//
+// The related-work comparator (paper Sec. 7): personalized PageRank
+// whose teleport distribution is concentrated on a seed set of *trusted*
+// nodes, propagating trust forward along links. The paper's
+// spam-proximity walk (Sec. 5) is the inverse construction — teleport on
+// *spam* seeds over the *reversed* graph — so both reuse the PageRank
+// machinery here.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "rank/pagerank.hpp"
+
+namespace srsr::rank {
+
+struct TrustRankConfig {
+  f64 alpha = 0.85;
+  Convergence convergence;
+};
+
+/// Trust scores: personalized PageRank with uniform teleport over
+/// `trusted_seeds` (ids into g; must be non-empty and in range).
+RankResult trustrank(const graph::Graph& g,
+                     const std::vector<NodeId>& trusted_seeds,
+                     const TrustRankConfig& config = {});
+
+}  // namespace srsr::rank

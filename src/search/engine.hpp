@@ -1,0 +1,79 @@
+// Query execution: BM25 relevance blended with a global authority score.
+//
+// This is the consumer of everything the paper builds: a search engine
+// ranks results by a mix of query relevance and link-based authority,
+// and the authority component is precisely what spammers attack. The
+// engine takes any per-page global score vector — pure relevance
+// (empty), PageRank, or Spam-Resilient SourceRank projected onto pages
+// — so the query-level impact of each ranking can be compared
+// (bench/ext_query_impact).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "search/index.hpp"
+
+namespace srsr::search {
+
+struct Bm25Params {
+  f64 k1 = 1.2;
+  f64 b = 0.75;
+};
+
+struct EngineConfig {
+  Bm25Params bm25;
+  /// Blend weight of the global authority component in [0, 1]:
+  /// final = (1-w) * relevance_norm + w * authority_percentile.
+  /// Relevance is max-normalized over the candidate set; authority is
+  /// converted to its corpus-wide PERCENTILE (ties share their average
+  /// position) — raw link-authority scores are heavy-tailed, so a
+  /// max-normalized blend would be inert for everything but the top
+  /// hub. w = 0 is pure BM25.
+  f64 authority_weight = 0.4;
+};
+
+struct SearchHit {
+  NodeId page = kInvalidNode;
+  f64 relevance = 0.0;  // raw BM25
+  f64 authority = 0.0;  // raw global score
+  f64 score = 0.0;      // blended
+};
+
+class SearchEngine {
+ public:
+  /// `global_scores` (optional): per-page authority, e.g. PageRank or a
+  /// source score projected to pages. Empty = pure relevance ranking.
+  SearchEngine(const InvertedIndex& index, std::vector<f64> global_scores,
+               EngineConfig config = {});
+
+  /// Top-k pages for a bag-of-terms query (ties by ascending page id;
+  /// pages matching no term never appear). Duplicate query terms add
+  /// weight, as in standard BM25 query-term frequency handling.
+  std::vector<SearchHit> query(const std::vector<u32>& terms, u32 k) const;
+
+  /// BM25 score of every page matching at least one query term
+  /// (sparse: pairs of page, score).
+  std::vector<std::pair<NodeId, f64>> relevance_scores(
+      const std::vector<u32>& terms) const;
+
+  const InvertedIndex& index() const { return *index_; }
+
+ private:
+  const InvertedIndex* index_;  // non-owning
+  std::vector<f64> global_scores_;
+  std::vector<f64> authority_percentile_;  // in [0, 1]; empty when no
+                                           // global scores were given
+  EngineConfig config_;
+};
+
+/// Projects a per-source score vector onto pages: each page inherits
+/// its source's score divided by the source's page count (splitting a
+/// source's authority mass over its pages, keeping the projection a
+/// distribution).
+std::vector<f64> project_source_scores_to_pages(
+    std::span<const f64> source_scores, std::span<const NodeId> page_source,
+    std::span<const u32> source_page_count);
+
+}  // namespace srsr::search

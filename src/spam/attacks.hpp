@@ -1,0 +1,81 @@
+// Web-spam attack injectors (the manipulation scenarios of Secs. 2, 4, 6).
+//
+// Every injector takes a corpus and returns a *new* corpus with the
+// attack applied — the original is untouched, so a harness can rank the
+// clean graph once and then rank many attacked variants (the paper's
+// cases A/B/C/D are 1/10/100/1000 injected pages on the same base
+// graph).
+//
+// Added pages get fresh ids at the end of the id space; ground-truth
+// spam labels are NOT updated (the attacker's pages are not *labeled*
+// spam — whether the defense catches them is precisely the experiment).
+#pragma once
+
+#include <vector>
+
+#include "graph/webgen.hpp"
+#include "util/rng.hpp"
+
+namespace srsr::spam {
+
+using graph::WebCorpus;
+
+/// Appends `count` pages to source `source`; each new page links to
+/// `target_page` (which must belong to `source`). This is the paper's
+/// intra-source link farm (Sec. 6.3 "Link Manipulation Within a
+/// Source" / Fig. 6): collusion confined to one source.
+WebCorpus add_intra_source_farm(const WebCorpus& corpus, NodeId target_page,
+                                u32 count);
+
+/// Appends `count` pages to `colluding_source`; each links to
+/// `target_page`, which must belong to a *different* source. The
+/// paper's inter-source scenario (Sec. 6.3 "Link Manipulation Across
+/// Sources" / Fig. 7).
+WebCorpus add_cross_source_farm(const WebCorpus& corpus, NodeId target_page,
+                                NodeId colluding_source, u32 count);
+
+/// Creates `num_sources` brand-new colluding sources with
+/// `pages_per_source` pages each. Each colluding source is configured
+/// per the Sec. 4.2 optimum: its pages link to the target source's
+/// front page and (to give the source an intra self-edge) to their own
+/// source's front page. Scenario 3 of the PageRank comparison.
+WebCorpus add_colluding_sources(const WebCorpus& corpus, NodeId target_page,
+                                u32 num_sources, u32 pages_per_source);
+
+/// Link exchange (Sec. 2, collusion variant): the listed sources trade
+/// links pairwise — for every pair (s_i, s_j) a random page of s_i
+/// links to s_j's front page and vice versa, pooling "their collective
+/// resources for mutual page promotion". Needs >= 2 sources.
+WebCorpus add_link_exchange(const WebCorpus& corpus,
+                            const std::vector<NodeId>& exchange_sources,
+                            Pcg32& rng);
+
+/// Hijacking (Sec. 2, vulnerability 1): inserts a link to
+/// `target_page` into each of the `hijacked_pages` (existing,
+/// legitimate pages — message boards, wikis, weblogs).
+WebCorpus add_hijack_links(const WebCorpus& corpus,
+                           const std::vector<NodeId>& hijacked_pages,
+                           NodeId target_page);
+
+/// Honeypot (Sec. 2, vulnerability 2): creates a new "quality" source
+/// with `honeypot_pages` pages, induces `lured_links` legitimate pages
+/// (sampled with `rng` from non-spam sources) to link to it, and has
+/// the honeypot's front page forward its accumulated authority to
+/// `target_page`.
+WebCorpus add_honeypot(const WebCorpus& corpus, NodeId target_page,
+                       u32 honeypot_pages, u32 lured_links, Pcg32& rng);
+
+/// Target-selection helper for the Sec. 6.3 protocol: samples `count`
+/// distinct sources from the bottom `bottom_fraction` of `scores`
+/// (default: bottom 50%) whose kappa is 0 ("in the clear" — not
+/// throttled), excluding sources labeled spam in the corpus.
+std::vector<NodeId> select_attack_targets(const WebCorpus& corpus,
+                                          std::span<const f64> scores,
+                                          std::span<const f64> kappa,
+                                          u32 count, Pcg32& rng,
+                                          f64 bottom_fraction = 0.5);
+
+/// Uniform-random page of `source`.
+NodeId random_page_of(const WebCorpus& corpus, NodeId source, Pcg32& rng);
+
+}  // namespace srsr::spam

@@ -1,0 +1,54 @@
+// Composite spam campaigns.
+//
+// Sec. 2: "In practice, Web spammers rely on combinations of these
+// basic strategies to create more complex attacks... more effective
+// (since multiple attack vectors are combined) and more difficult to
+// detect (since simple pattern-based arrangements are masked)."
+//
+// A CampaignSpec bundles the basic vectors against one target; apply()
+// injects them all and reports what was added. The portfolio model
+// (core/portfolio.hpp) prices these specs.
+#pragma once
+
+#include <vector>
+
+#include "spam/attacks.hpp"
+
+namespace srsr::spam {
+
+struct CampaignSpec {
+  /// Farm pages added inside the target's own source.
+  u32 intra_farm_pages = 0;
+  /// Farm pages added inside one existing colluding source (ignored
+  /// when colluding_source == kInvalidNode).
+  u32 cross_farm_pages = 0;
+  NodeId colluding_source = kInvalidNode;
+  /// Fresh colluding sources x pages per source (Sec. 4.2 optimal).
+  u32 colluding_sources = 0;
+  u32 pages_per_colluding_source = 1;
+  /// Hijacked links injected into random legitimate pages.
+  u32 hijacked_links = 0;
+  /// Honeypot: decoy pages and lured legitimate in-links (0 pages
+  /// disables the honeypot).
+  u32 honeypot_pages = 0;
+  u32 honeypot_lures = 0;
+};
+
+struct CampaignReceipt {
+  u32 pages_added = 0;
+  u32 sources_added = 0;
+  u32 links_injected = 0;  // hijacks + lures (links placed on pages the
+                           // spammer does not own)
+};
+
+/// Applies every enabled vector of `spec` against `target_page`.
+/// Deterministic in `rng`. Returns the attacked corpus and a receipt of
+/// what was spent (the portfolio cost model consumes the receipt).
+struct CampaignOutcome {
+  WebCorpus corpus;
+  CampaignReceipt receipt;
+};
+CampaignOutcome apply_campaign(const WebCorpus& corpus, NodeId target_page,
+                               const CampaignSpec& spec, Pcg32& rng);
+
+}  // namespace srsr::spam

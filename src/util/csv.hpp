@@ -1,0 +1,23 @@
+// CSV output helper for bench harnesses.
+//
+// When the environment variable SRSR_BENCH_CSV is set to a non-empty
+// value, bench binaries additionally write their series to
+// bench_out/<name>.csv so plots can be regenerated offline.
+#pragma once
+
+#include <string>
+
+#include "util/common.hpp"
+#include "util/table.hpp"
+
+namespace srsr {
+
+/// True when SRSR_BENCH_CSV is set (non-empty) in the environment.
+bool csv_output_enabled();
+
+/// Writes `table` as bench_out/<name>.csv under the current working
+/// directory, creating bench_out/ if needed. Returns the path written.
+/// No-op (returns empty string) when csv_output_enabled() is false.
+std::string maybe_write_csv(const std::string& name, const TextTable& table);
+
+}  // namespace srsr

@@ -1,0 +1,60 @@
+// Thin shared-memory parallel-for layer over OpenMP.
+//
+// Rank kernels are memory-bound sparse matrix–vector products; the only
+// parallel constructs the library needs are a static-partitioned parallel
+// for and a parallel sum reduction. Wrapping them here keeps OpenMP
+// pragmas out of algorithm code and gives a serial fallback when the
+// toolchain lacks OpenMP (SRSR_HAVE_OPENMP is set by the build).
+#pragma once
+
+#include <cstddef>
+
+#include "util/common.hpp"
+
+#if defined(SRSR_HAVE_OPENMP)
+#include <omp.h>
+#endif
+
+namespace srsr {
+
+/// Number of threads a parallel region will use (1 without OpenMP).
+inline int num_threads() {
+#if defined(SRSR_HAVE_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Applies fn(i) for i in [begin, end) with static scheduling. fn must be
+/// safe to invoke concurrently for distinct i.
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn) {
+#if defined(SRSR_HAVE_OPENMP)
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(begin);
+       i < static_cast<std::ptrdiff_t>(end); ++i) {
+    fn(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) fn(i);
+#endif
+}
+
+/// Parallel sum-reduction of fn(i) over [begin, end).
+template <typename Fn>
+f64 parallel_sum(std::size_t begin, std::size_t end, Fn&& fn) {
+  f64 total = 0.0;
+#if defined(SRSR_HAVE_OPENMP)
+#pragma omp parallel for schedule(static) reduction(+ : total)
+  for (std::ptrdiff_t i = static_cast<std::ptrdiff_t>(begin);
+       i < static_cast<std::ptrdiff_t>(end); ++i) {
+    total += fn(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) total += fn(i);
+#endif
+  return total;
+}
+
+}  // namespace srsr

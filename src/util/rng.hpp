@@ -1,0 +1,119 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (graph generators, seed-set
+// sampling, attack-target selection) draws from these generators so that
+// experiments are exactly reproducible from a single 64-bit seed. We use
+// small, fast, well-tested generators (SplitMix64 for seeding, PCG32 for
+// streams) rather than std::mt19937 because (a) their state is tiny, so
+// per-thread generator arrays stay cache-resident, and (b) their output
+// is identical across standard libraries, which std::distributions are
+// not — we implement our own bounded-int and real draws for portability.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace srsr {
+
+/// SplitMix64: a tiny 64-bit generator; primarily used to expand one user
+/// seed into independent stream seeds for PCG32 instances.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(u64 seed) : state_(seed) {}
+
+  u64 next() {
+    u64 z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  u64 state_;
+};
+
+/// PCG32 (pcg32_random_r of O'Neill, 2014): 64-bit state, 32-bit output,
+/// period 2^64 per stream with 2^63 selectable streams.
+class Pcg32 {
+ public:
+  /// Stream 0 of the given seed.
+  explicit Pcg32(u64 seed) : Pcg32(seed, 0) {}
+
+  /// Independent stream `seq` of the given seed.
+  Pcg32(u64 seed, u64 seq);
+
+  /// Uniform 32-bit draw.
+  u32 next_u32();
+
+  /// Uniform 64-bit draw (two 32-bit draws).
+  u64 next_u64();
+
+  /// Uniform draw in [0, bound) with Lemire's unbiased multiply-shift
+  /// rejection. bound must be > 0.
+  u32 next_below(u32 bound);
+
+  /// Uniform real in [0, 1).
+  f64 next_real();
+
+  /// Uniform real in [lo, hi).
+  f64 next_real(f64 lo, f64 hi);
+
+  /// Bernoulli draw with success probability p.
+  bool next_bool(f64 p);
+
+ private:
+  u64 state_;
+  u64 inc_;
+};
+
+/// Samples `k` distinct values from [0, n) in increasing order using
+/// Floyd's algorithm (O(k) expected work, no O(n) scratch). k <= n.
+std::vector<u32> sample_without_replacement(Pcg32& rng, u32 n, u32 k);
+
+/// Fisher–Yates shuffle.
+template <typename T>
+void shuffle(Pcg32& rng, std::vector<T>& v) {
+  for (u32 i = static_cast<u32>(v.size()); i > 1; --i) {
+    const u32 j = rng.next_below(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+/// Draws from a Zipf distribution over {1, ..., n} with exponent s > 0,
+/// via inverse-CDF on a precomputed table. Used for power-law source
+/// sizes and out-degrees in the synthetic web-graph generator.
+class ZipfSampler {
+ public:
+  ZipfSampler(u32 n, f64 exponent);
+
+  /// Value in [1, n].
+  u32 sample(Pcg32& rng) const;
+
+  u32 n() const { return static_cast<u32>(cdf_.size()); }
+  f64 exponent() const { return exponent_; }
+
+ private:
+  std::vector<f64> cdf_;  // cdf_[i] = P(X <= i+1)
+  f64 exponent_;
+};
+
+/// Weighted discrete sampling in O(1) per draw after O(n) setup
+/// (Walker/Vose alias method). Weights must be non-negative with a
+/// positive sum. Used for preferential-attachment target selection.
+class AliasSampler {
+ public:
+  explicit AliasSampler(const std::vector<f64>& weights);
+
+  /// Index in [0, n).
+  u32 sample(Pcg32& rng) const;
+
+  u32 n() const { return static_cast<u32>(prob_.size()); }
+
+ private:
+  std::vector<f64> prob_;
+  std::vector<u32> alias_;
+};
+
+}  // namespace srsr

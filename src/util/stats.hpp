@@ -1,0 +1,38 @@
+// Summary statistics over score and degree vectors.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace srsr {
+
+/// One-pass summary of a sample: count, sum, mean, min, max, and
+/// (population) standard deviation.
+struct Summary {
+  std::size_t count = 0;
+  f64 sum = 0.0;
+  f64 mean = 0.0;
+  f64 min = 0.0;
+  f64 max = 0.0;
+  f64 stddev = 0.0;
+};
+
+Summary summarize(std::span<const f64> values);
+
+/// q-th quantile (q in [0,1]) by linear interpolation on the sorted
+/// sample (type-7, the numpy/R default).
+f64 quantile(std::span<const f64> values, f64 q);
+
+/// L1 / L2 / Linf distances between equal-length vectors, used as power-
+/// method convergence measures (the paper uses L2 < 1e-9).
+f64 l1_distance(std::span<const f64> a, std::span<const f64> b);
+f64 l2_distance(std::span<const f64> a, std::span<const f64> b);
+f64 linf_distance(std::span<const f64> a, std::span<const f64> b);
+
+/// Sum of the vector (serial Kahan-compensated; used for normalization
+/// checks where 1e-12 tolerances matter).
+f64 kahan_sum(std::span<const f64> values);
+
+}  // namespace srsr

@@ -1,0 +1,83 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+
+namespace srsr {
+
+std::vector<std::string_view> split(std::string_view s,
+                                    std::string_view delims) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  while (start < s.size()) {
+    const std::size_t end = s.find_first_of(delims, start);
+    if (end == std::string_view::npos) {
+      out.push_back(s.substr(start));
+      break;
+    }
+    if (end > start) out.push_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  std::size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  std::size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+u64 parse_u64(std::string_view s) {
+  check(!s.empty(), "parse_u64: empty input");
+  u64 out = 0;
+  for (const char c : s) {
+    check(c >= '0' && c <= '9', "parse_u64: non-digit in '" + std::string(s) + "'");
+    const u64 digit = static_cast<u64>(c - '0');
+    check(out <= (~0ULL - digit) / 10, "parse_u64: overflow in '" + std::string(s) + "'");
+    out = out * 10 + digit;
+  }
+  return out;
+}
+
+std::string host_of(std::string_view url) {
+  std::string_view rest = trim(url);
+  check(!rest.empty(), "host_of: empty URL");
+  // Strip a scheme if present ("http://", "https://", "ftp://", ...).
+  const std::size_t scheme = rest.find("://");
+  if (scheme != std::string_view::npos) rest = rest.substr(scheme + 3);
+  // Host ends at the first path / query / fragment delimiter.
+  const std::size_t end = rest.find_first_of("/?#");
+  std::string_view host = (end == std::string_view::npos) ? rest : rest.substr(0, end);
+  // Drop userinfo and port.
+  const std::size_t at = host.rfind('@');
+  if (at != std::string_view::npos) host = host.substr(at + 1);
+  const std::size_t colon = host.find(':');
+  if (colon != std::string_view::npos) host = host.substr(0, colon);
+  check(!host.empty(), "host_of: no host in URL '" + std::string(url) + "'");
+  return to_lower(host);
+}
+
+std::string with_commas(u64 value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  const std::size_t lead = digits.size() % 3 == 0 ? 3 : digits.size() % 3;
+  for (std::size_t i = 0; i < digits.size(); ++i) {
+    if (i != 0 && (i - lead) % 3 == 0 && i >= lead) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+}  // namespace srsr

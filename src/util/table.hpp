@@ -1,0 +1,43 @@
+// Aligned plain-text table rendering.
+//
+// Every bench binary reproduces a table or figure from the paper as rows
+// of text; this helper keeps their output format uniform (padded columns,
+// a header rule, optional title) without each bench reimplementing
+// printf bookkeeping.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace srsr {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience formatters for numeric cells.
+  static std::string num(u64 v);          // with thousands separators
+  static std::string fixed(f64 v, int precision);
+  static std::string sci(f64 v, int precision);
+  static std::string pct(f64 fraction, int precision);  // 0.23 -> "23.0%"
+
+  /// Renders with a title line, header row, and column-aligned body.
+  std::string render(const std::string& title = "") const;
+
+  /// Renders the same rows as CSV (for machine consumption).
+  std::string render_csv() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace srsr

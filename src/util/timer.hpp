@@ -1,0 +1,29 @@
+// Wall-clock timing for benchmarks and progress reporting.
+#pragma once
+
+#include <chrono>
+
+#include "util/common.hpp"
+
+namespace srsr {
+
+/// Monotonic wall-clock stopwatch, started at construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction / last reset.
+  f64 seconds() const {
+    return std::chrono::duration<f64>(Clock::now() - start_).count();
+  }
+
+  f64 millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace srsr

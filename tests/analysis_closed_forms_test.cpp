@@ -1,0 +1,228 @@
+// Tests for the Sec. 4 closed forms — including the exact numbers the
+// paper quotes in the text for Figs. 2 and 3.
+#include "analysis/closed_forms.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace srsr::analysis {
+namespace {
+
+constexpr f64 kAlpha = 0.85;  // the paper's setting throughout
+
+TEST(SingleSourceScore, MaximizedAtSelfWeightOne) {
+  // Eq. 4: sigma is increasing in w, so w = 1 is optimal (Sec. 4.1).
+  f64 prev = 0.0;
+  for (const f64 w : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const f64 sigma = single_source_score(kAlpha, 1000, w);
+    EXPECT_GT(sigma, prev);
+    prev = sigma;
+  }
+  EXPECT_DOUBLE_EQ(optimal_single_source_score(kAlpha, 1000),
+                   single_source_score(kAlpha, 1000, 1.0));
+}
+
+TEST(SingleSourceScore, IncomingScoreRaisesSigma) {
+  EXPECT_GT(single_source_score(kAlpha, 100, 0.5, /*z=*/0.01),
+            single_source_score(kAlpha, 100, 0.5, /*z=*/0.0));
+}
+
+TEST(SelfTuningGain, PaperFig2Numbers) {
+  // Sec. 4.1: "A highly-throttled source may tune its SourceRank score
+  // upward by a factor of 2 for an initial kappa = 0.80, a factor of
+  // 1.57 times for kappa = 0.90, and not at all for a fully-throttled
+  // source."  ((1-0.85*0.8)/0.15 = 2.133..., 1.567, 1.0)
+  EXPECT_NEAR(self_tuning_gain(kAlpha, 0.80), 2.1333, 1e-3);
+  EXPECT_NEAR(self_tuning_gain(kAlpha, 0.90), 1.5667, 1e-3);
+  EXPECT_DOUBLE_EQ(self_tuning_gain(kAlpha, 1.0), 1.0);
+}
+
+TEST(SelfTuningGain, KappaZeroGivesOneOverOneMinusAlpha) {
+  // "For typical values of alpha — from 0.80 to 0.90 — this means a
+  // source may increase its score from 5 to 10 times."
+  EXPECT_NEAR(self_tuning_gain(0.80, 0.0), 5.0, 1e-12);
+  EXPECT_NEAR(self_tuning_gain(0.90, 0.0), 10.0, 1e-12);
+  EXPECT_NEAR(self_tuning_gain(0.85, 0.0), 1.0 / 0.15, 1e-12);
+}
+
+TEST(SelfTuningGain, MonotoneDecreasingInKappa) {
+  f64 prev = 1e18;
+  for (const f64 k : {0.0, 0.2, 0.4, 0.6, 0.8, 1.0}) {
+    const f64 g = self_tuning_gain(kAlpha, k);
+    EXPECT_LT(g, prev);
+    prev = g;
+  }
+}
+
+TEST(ExtraSourcesRatio, PaperFig3Numbers) {
+  // Sec. 4.2: "when alpha = 0.85 and kappa' = 0.6, there are 23% more
+  // sources necessary... kappa' = 0.8: 60% more; kappa' = 0.9: 135%
+  // more; kappa' = 0.99: 1485% more."
+  EXPECT_NEAR(extra_sources_ratio(kAlpha, 0.0, 0.6) - 1.0, 0.225, 2e-3);
+  EXPECT_NEAR(extra_sources_ratio(kAlpha, 0.0, 0.8) - 1.0, 0.60, 1e-2);
+  EXPECT_NEAR(extra_sources_ratio(kAlpha, 0.0, 0.9) - 1.0, 1.35, 1e-2);
+  EXPECT_NEAR(extra_sources_ratio(kAlpha, 0.0, 0.99) - 1.0, 14.85, 2e-2);
+}
+
+TEST(ExtraSourcesRatio, IdentityWhenKappaUnchanged) {
+  EXPECT_DOUBLE_EQ(extra_sources_ratio(kAlpha, 0.3, 0.3), 1.0);
+}
+
+TEST(ExtraSourcesRatio, RejectsFullThrottle) {
+  EXPECT_THROW(extra_sources_ratio(kAlpha, 0.0, 1.0), Error);
+  EXPECT_THROW(extra_sources_ratio(kAlpha, 1.0, 0.5), Error);
+}
+
+TEST(CollusionContribution, LinearInColluderCount) {
+  const f64 one = collusion_contribution(kAlpha, 1000, 1, 0.5);
+  const f64 ten = collusion_contribution(kAlpha, 1000, 10, 0.5);
+  EXPECT_NEAR(ten, 10.0 * one, 1e-12);
+}
+
+TEST(CollusionContribution, VanishesAtFullThrottle) {
+  EXPECT_DOUBLE_EQ(collusion_contribution(kAlpha, 1000, 50, 1.0), 0.0);
+}
+
+TEST(CollusionContribution, DecreasingInKappa) {
+  f64 prev = 1e18;
+  for (const f64 k : {0.0, 0.3, 0.6, 0.9, 0.99}) {
+    const f64 c = collusion_contribution(kAlpha, 1000, 10, k);
+    EXPECT_LT(c, prev);
+    prev = c;
+  }
+}
+
+TEST(TargetScoreWithColluders, EqualsOptimalPlusContribution) {
+  const f64 total = target_score_with_colluders(kAlpha, 500, 7, 0.4);
+  EXPECT_NEAR(total,
+              optimal_single_source_score(kAlpha, 500) +
+                  collusion_contribution(kAlpha, 500, 7, 0.4),
+              1e-15);
+}
+
+TEST(PageRank, CollusionGainMatchesPaperFormula) {
+  // Delta_tau(pi_0) = tau * alpha * (1-alpha) / |P|
+  EXPECT_DOUBLE_EQ(pagerank_collusion_gain(kAlpha, 1000, 100),
+                   100.0 * 0.85 * 0.15 / 1000.0);
+  EXPECT_DOUBLE_EQ(pagerank_collusion_gain(kAlpha, 1000, 0), 0.0);
+}
+
+TEST(PageRank, TargetScoreDecomposition) {
+  const u64 P = 10000;
+  EXPECT_DOUBLE_EQ(pagerank_target_score(kAlpha, P, 50, 0.001),
+                   0.001 + 0.15 / P + pagerank_collusion_gain(kAlpha, P, 50));
+}
+
+TEST(PageRank, AmplificationNearly100xAt100Pages) {
+  // Sec. 4.3 / Fig. 4(a): "the PageRank score of the target page jumps
+  // by a factor of nearly 100 times with only 100 colluding pages."
+  const f64 amp = pagerank_amplification(kAlpha, 1000000, 100);
+  EXPECT_NEAR(amp, 1.0 + 100.0 * kAlpha, 1e-9);  // = 86
+  EXPECT_GT(amp, 80.0);
+  EXPECT_LT(amp, 100.0);
+}
+
+TEST(PageRank, AmplificationIsLinearInTau) {
+  const f64 a1 = pagerank_amplification(kAlpha, 1000, 10) - 1.0;
+  const f64 a2 = pagerank_amplification(kAlpha, 1000, 20) - 1.0;
+  EXPECT_NEAR(a2, 2.0 * a1, 1e-9);
+}
+
+TEST(Scenario1, FlatCapEqualsSelfTuningGain) {
+  for (const f64 k : {0.0, 0.5, 0.9}) {
+    EXPECT_DOUBLE_EQ(srsr_scenario1_amplification(kAlpha, k),
+                     self_tuning_gain(kAlpha, k));
+  }
+}
+
+TEST(Scenario2, CappedNearTwoTimes) {
+  // Fig. 4(b): "the maximum influence over Spam-Resilient SourceRank is
+  // capped at 2 times the original score for several values of kappa."
+  EXPECT_NEAR(srsr_scenario2_amplification(kAlpha, 0.0), 1.85, 1e-9);
+  EXPECT_LT(srsr_scenario2_amplification(kAlpha, 0.5), 1.85);
+  EXPECT_LT(srsr_scenario2_amplification(kAlpha, 0.99), 1.06);
+  for (const f64 k : {0.0, 0.3, 0.6, 0.9}) {
+    EXPECT_LE(srsr_scenario2_amplification(kAlpha, k), 2.0);
+    EXPECT_GE(srsr_scenario2_amplification(kAlpha, k), 1.0);
+  }
+}
+
+TEST(Scenario3, LinearInColludingSources) {
+  const f64 base = srsr_scenario3_amplification(kAlpha, 1, 0.5) - 1.0;
+  EXPECT_NEAR(srsr_scenario3_amplification(kAlpha, 10, 0.5) - 1.0,
+              10.0 * base, 1e-12);
+}
+
+TEST(Scenario3, HighThrottleFlattensCurve) {
+  // Fig. 4(c): at kappa = 0.99 the SRSR curve is nearly flat while the
+  // unthrottled one grows briskly.
+  const f64 flat = srsr_scenario3_amplification(kAlpha, 100, 0.99);
+  const f64 steep = srsr_scenario3_amplification(kAlpha, 100, 0.0);
+  EXPECT_LT(flat, 7.0);
+  EXPECT_GT(steep, 80.0);
+}
+
+// --- Numerical verification of the Sec. 4.2 optimality claims.
+//
+// The paper derives (by partial derivatives) that a spammer maximizing
+// sigma_0 with one colluding source should set theta_0 = theta_1 = 0,
+// w(s0,s0) = 1, and w(s1,s1) = kappa_1 (the mandated minimum). We grid
+// over all four controls and check no configuration beats the claimed
+// corner.
+TEST(TwoSourceOptimality, PaperCornerIsTheGridMaximum) {
+  const f64 alpha = 0.85;
+  const f64 kappa1 = 0.3;  // the colluder's mandated floor
+  const u64 S = 100;
+  const f64 t = (1.0 - alpha) / static_cast<f64>(S);
+
+  // Closed solve of the two-source system for given controls:
+  //   sigma_0 = a*z0 + a*w00*sigma_0 + t + a*(1 - w11 - th1)*sigma_1
+  //   sigma_1 = a*z1 + a*w11*sigma_1 + t + a*(1 - w00 - th0)*sigma_0
+  auto solve_sigma0 = [&](f64 w00, f64 th0, f64 w11, f64 th1) {
+    // Linear 2x2 solve.
+    const f64 a11 = 1.0 - alpha * w00;
+    const f64 a12 = -alpha * (1.0 - w11 - th1);
+    const f64 a21 = -alpha * (1.0 - w00 - th0);
+    const f64 a22 = 1.0 - alpha * w11;
+    const f64 det = a11 * a22 - a12 * a21;
+    // b = (t, t) with z = 0.
+    return (t * a22 - a12 * t) / det;
+  };
+
+  const f64 best = solve_sigma0(1.0, 0.0, kappa1, 0.0);
+  for (f64 w00 = 0.0; w00 <= 1.0; w00 += 0.1) {
+    for (f64 th0 = 0.0; th0 + w00 <= 1.0; th0 += 0.1) {
+      for (f64 w11 = kappa1; w11 <= 1.0; w11 += 0.1) {  // floor enforced
+        for (f64 th1 = 0.0; th1 + w11 <= 1.0; th1 += 0.1) {
+          EXPECT_LE(solve_sigma0(w00, th0, w11, th1), best + 1e-12)
+              << "w00=" << w00 << " th0=" << th0 << " w11=" << w11
+              << " th1=" << th1;
+        }
+      }
+    }
+  }
+}
+
+TEST(TwoSourceOptimality, SingleSourceOptimumIsSelfEdgeOnly) {
+  // Sec. 4.1: sigma_t maximized at w(st,st) = 1 — check the whole grid
+  // against Eq. 4.
+  const f64 alpha = 0.85;
+  const u64 S = 50;
+  const f64 best = optimal_single_source_score(alpha, S, 0.002);
+  for (f64 w = 0.0; w <= 1.0001; w += 0.02)
+    EXPECT_LE(single_source_score(alpha, S, std::min(w, 1.0), 0.002),
+              best + 1e-15);
+}
+
+TEST(Validation, ParameterRangesEnforced) {
+  EXPECT_THROW(single_source_score(1.0, 10, 0.5), Error);
+  EXPECT_THROW(single_source_score(kAlpha, 0, 0.5), Error);
+  EXPECT_THROW(single_source_score(kAlpha, 10, 1.5), Error);
+  EXPECT_THROW(self_tuning_gain(kAlpha, -0.1), Error);
+  EXPECT_THROW(pagerank_target_score(kAlpha, 0, 1), Error);
+  EXPECT_THROW(srsr_scenario3_amplification(-0.1, 1, 0.5), Error);
+}
+
+}  // namespace
+}  // namespace srsr::analysis

@@ -1,0 +1,60 @@
+# End-to-end smoke test of the srsr_cli tool: generate -> rank -> audit
+# -> attack over a temp crawl directory. Any non-zero exit or missing
+# output fails the test.
+if(NOT DEFINED CLI)
+  message(FATAL_ERROR "pass -DCLI=<path-to-srsr_cli>")
+endif()
+
+set(DIR "${CMAKE_CURRENT_BINARY_DIR}/cli_test_crawl")
+file(REMOVE_RECURSE "${DIR}")
+
+function(run_cli)
+  execute_process(COMMAND "${CLI}" ${ARGN}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "srsr_cli ${ARGN} failed (${rc}):\n${out}\n${err}")
+  endif()
+  set(CLI_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+run_cli(generate --out "${DIR}" --sources 150 --spam 8 --seed 3 --terms)
+foreach(f pages.txt edges.txt labels.txt terms.txt)
+  if(NOT EXISTS "${DIR}/${f}")
+    message(FATAL_ERROR "generate did not write ${f}")
+  endif()
+endforeach()
+
+run_cli(rank --in "${DIR}" --algo srsr --top 3)
+if(NOT CLI_OUTPUT MATCHES "Top 3 by srsr")
+  message(FATAL_ERROR "rank output malformed:\n${CLI_OUTPUT}")
+endif()
+
+run_cli(rank --in "${DIR}" --algo pagerank --top 3)
+run_cli(rank --in "${DIR}" --algo sourcerank --top 3)
+
+run_cli(audit --in "${DIR}" --topk 5)
+if(NOT CLI_OUTPUT MATCHES "Spam-proximity audit")
+  message(FATAL_ERROR "audit output malformed:\n${CLI_OUTPUT}")
+endif()
+
+run_cli(attack --in "${DIR}" --target-source 42 --pages 50)
+if(NOT CLI_OUTPUT MATCHES "PageRank percentile")
+  message(FATAL_ERROR "attack output malformed:\n${CLI_OUTPUT}")
+endif()
+
+# Error paths must exit non-zero, not crash.
+execute_process(COMMAND "${CLI}" rank --in "${DIR}/nonexistent"
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "rank on a missing directory should fail")
+endif()
+execute_process(COMMAND "${CLI}" bogus-command
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "unknown command should fail")
+endif()
+
+file(REMOVE_RECURSE "${DIR}")
+message(STATUS "cli_test OK")

@@ -1,0 +1,96 @@
+// Tests for the kappa assignment policies (core/kappa.hpp).
+#include "core/kappa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace srsr::core {
+namespace {
+
+TEST(KappaTopK, ThrottlesExactlyKHighest) {
+  const std::vector<f64> prox{0.1, 0.9, 0.3, 0.7, 0.2};
+  const auto kappa = kappa_top_k(prox, 2);
+  EXPECT_DOUBLE_EQ(kappa[1], 1.0);
+  EXPECT_DOUBLE_EQ(kappa[3], 1.0);
+  EXPECT_DOUBLE_EQ(kappa[0], 0.0);
+  EXPECT_DOUBLE_EQ(kappa[2], 0.0);
+  EXPECT_DOUBLE_EQ(kappa[4], 0.0);
+}
+
+TEST(KappaTopK, KZeroThrottlesNothing) {
+  const std::vector<f64> prox{0.5, 0.5};
+  for (const f64 k : kappa_top_k(prox, 0)) EXPECT_DOUBLE_EQ(k, 0.0);
+}
+
+TEST(KappaTopK, KEqualsNThrottlesEverything) {
+  const std::vector<f64> prox{0.5, 0.1, 0.9};
+  for (const f64 k : kappa_top_k(prox, 3)) EXPECT_DOUBLE_EQ(k, 1.0);
+}
+
+TEST(KappaTopK, TiesBrokenByLowerId) {
+  const std::vector<f64> prox{0.5, 0.5, 0.5};
+  const auto kappa = kappa_top_k(prox, 1);
+  EXPECT_DOUBLE_EQ(kappa[0], 1.0);
+  EXPECT_DOUBLE_EQ(kappa[1], 0.0);
+}
+
+TEST(KappaTopK, KTooLargeThrows) {
+  const std::vector<f64> prox{0.5};
+  EXPECT_THROW(kappa_top_k(prox, 2), Error);
+}
+
+TEST(KappaThreshold, SplitsAtThreshold) {
+  const std::vector<f64> prox{0.1, 0.5, 0.9};
+  const auto kappa = kappa_threshold(prox, 0.5);
+  EXPECT_DOUBLE_EQ(kappa[0], 0.0);
+  EXPECT_DOUBLE_EQ(kappa[1], 1.0);  // >= is inclusive
+  EXPECT_DOUBLE_EQ(kappa[2], 1.0);
+}
+
+TEST(KappaProportional, RampsLinearlyAndSaturates) {
+  // Quantile 0.5 of {0, 0.2, 0.4, 0.6, 0.8} is 0.4.
+  const std::vector<f64> prox{0.0, 0.2, 0.4, 0.6, 0.8};
+  const auto kappa = kappa_proportional(prox, 0.5);
+  EXPECT_DOUBLE_EQ(kappa[0], 0.0);
+  EXPECT_NEAR(kappa[1], 0.5, 1e-12);
+  EXPECT_NEAR(kappa[2], 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(kappa[3], 1.0);  // saturates at 1
+  EXPECT_DOUBLE_EQ(kappa[4], 1.0);
+}
+
+TEST(KappaProportional, AllZeroProximityGivesNoThrottle) {
+  const std::vector<f64> prox{0.0, 0.0, 0.0};
+  for (const f64 k : kappa_proportional(prox, 0.9)) EXPECT_DOUBLE_EQ(k, 0.0);
+}
+
+TEST(KappaProportional, RejectsBadQuantile) {
+  const std::vector<f64> prox{0.5};
+  EXPECT_THROW(kappa_proportional(prox, 0.0), Error);
+  EXPECT_THROW(kappa_proportional(prox, 1.5), Error);
+  EXPECT_THROW(kappa_proportional({}, 0.5), Error);
+}
+
+TEST(KappaUniform, FillsValue) {
+  const auto kappa = kappa_uniform(4, 0.7);
+  ASSERT_EQ(kappa.size(), 4u);
+  for (const f64 k : kappa) EXPECT_DOUBLE_EQ(k, 0.7);
+  EXPECT_THROW(kappa_uniform(2, 1.5), Error);
+}
+
+TEST(KappaPolicies, AllValuesAlwaysInUnitInterval) {
+  const std::vector<f64> prox{0.01, 0.002, 0.4, 0.0, 0.99, 0.35};
+  for (const auto& kappa :
+       {kappa_top_k(prox, 3), kappa_threshold(prox, 0.3),
+        kappa_proportional(prox, 0.8)}) {
+    for (const f64 k : kappa) {
+      EXPECT_GE(k, 0.0);
+      EXPECT_LE(k, 1.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace srsr::core

@@ -1,0 +1,146 @@
+// Tests for the spammer behavior / portfolio-value model
+// (core/portfolio.hpp) — the paper's Sec. 8 program.
+#include "core/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+namespace srsr::core {
+namespace {
+
+graph::WebCorpus fixture() {
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 300;
+  cfg.num_spam_sources = 15;
+  cfg.seed = 1717;
+  return graph::generate_web_corpus(cfg);
+}
+
+SpammerModelConfig model_config(const graph::WebCorpus& corpus) {
+  SpammerModelConfig cfg;
+  cfg.srsr.convergence.tolerance = 1e-10;
+  cfg.pagerank.convergence.tolerance = 1e-10;
+  cfg.srsr.throttle_mode = ThrottleMode::kTeleportDiscard;
+  const auto spam = corpus.spam_sources();
+  cfg.defender_seeds.assign(spam.begin(), spam.begin() + 2);
+  cfg.defender_top_k = 2 * static_cast<u32>(spam.size());
+  return cfg;
+}
+
+TEST(CampaignCost, PricesEachLineItem) {
+  spam::CampaignReceipt receipt;
+  receipt.pages_added = 10;
+  receipt.sources_added = 2;
+  receipt.links_injected = 3;
+  AttackCostModel costs;
+  costs.per_page = 1.0;
+  costs.per_source = 25.0;
+  costs.per_injected_link = 10.0;
+  EXPECT_DOUBLE_EQ(campaign_cost(receipt, costs), 10.0 + 50.0 + 30.0);
+}
+
+TEST(PortfolioValue, SumsPercentiles) {
+  const std::vector<f64> scores{0.1, 0.2, 0.3, 0.4, 0.5};
+  // percentile: node 4 = 100, node 0 = 0, node 2 = 50.
+  EXPECT_DOUBLE_EQ(portfolio_value(scores, {4, 0, 2}), 150.0);
+  EXPECT_DOUBLE_EQ(portfolio_value(scores, {}), 0.0);
+}
+
+TEST(SpammerModel, FreeCampaignHasZeroCostAndRoi) {
+  const auto corpus = fixture();
+  const SpammerModel model(corpus, model_config(corpus));
+  const auto eval = model.evaluate(RankingSystem::kPageRank, 0,
+                                   spam::CampaignSpec{}, 1);
+  EXPECT_DOUBLE_EQ(eval.cost, 0.0);
+  EXPECT_DOUBLE_EQ(eval.roi, 0.0);
+  EXPECT_NEAR(eval.gain, 0.0, 1e-6);  // no attack, no movement
+}
+
+// A genuinely low-ranked target page: the LAST page of a multi-page
+// source (front pages collect the front-page-biased in-links; tail
+// pages rarely have any).
+NodeId low_target(const graph::WebCorpus& corpus) {
+  for (u32 s = 200; s < corpus.num_sources(); ++s) {
+    if (corpus.source_page_count[s] >= 3)
+      return corpus.source_first_page[s] + corpus.source_page_count[s] - 1;
+  }
+  return corpus.source_first_page[200];
+}
+
+TEST(SpammerModel, FarmRaisesPageRankTarget) {
+  const auto corpus = fixture();
+  const SpammerModel model(corpus, model_config(corpus));
+  const NodeId target = low_target(corpus);
+  spam::CampaignSpec farm;
+  farm.intra_farm_pages = 100;
+  const auto eval =
+      model.evaluate(RankingSystem::kPageRank, target, farm, 2);
+  EXPECT_DOUBLE_EQ(eval.cost, 100.0 * AttackCostModel{}.per_page);
+  EXPECT_GT(eval.gain, 10.0);
+  EXPECT_GT(eval.roi, 0.0);
+}
+
+TEST(SpammerModel, SourceSystemsResistIntraFarmMore) {
+  const auto corpus = fixture();
+  const SpammerModel model(corpus, model_config(corpus));
+  const NodeId target = low_target(corpus);
+  spam::CampaignSpec farm;
+  farm.intra_farm_pages = 1000;
+  const auto pr = model.evaluate(RankingSystem::kPageRank, target, farm, 3);
+  const auto sr =
+      model.evaluate(RankingSystem::kSourceRankBaseline, target, farm, 3);
+  EXPECT_GT(pr.gain, 0.0);
+  // PageRank pushes the page essentially to the top; the source system
+  // moves less under the same spend — so its ROI is strictly worse.
+  EXPECT_LT(sr.roi, pr.roi);
+}
+
+TEST(SpammerModel, ReactiveThrottledDefenseBluntsCollusion) {
+  const auto corpus = fixture();
+  const SpammerModel model(corpus, model_config(corpus));
+  const NodeId target = corpus.source_first_page[200];
+  spam::CampaignSpec collusion;
+  collusion.colluding_sources = 50;
+  const auto open =
+      model.evaluate(RankingSystem::kSourceRankBaseline, target, collusion, 4);
+  const auto defended =
+      model.evaluate(RankingSystem::kThrottledSrsr, target, collusion, 4);
+  // The same spend buys strictly less against the reactive defense.
+  EXPECT_LT(defended.gain, open.gain);
+}
+
+TEST(SpammerModel, HijackingIsExpensive) {
+  const auto corpus = fixture();
+  const SpammerModel model(corpus, model_config(corpus));
+  spam::CampaignSpec hijack;
+  hijack.hijacked_links = 50;
+  const auto eval = model.evaluate(RankingSystem::kPageRank,
+                                   corpus.source_first_page[150], hijack, 5);
+  EXPECT_DOUBLE_EQ(eval.cost, 50.0 * AttackCostModel{}.per_injected_link);
+}
+
+TEST(SpammerModel, PortfolioValueRequiresSourceSystem) {
+  const auto corpus = fixture();
+  const SpammerModel model(corpus, model_config(corpus));
+  EXPECT_THROW(model.source_portfolio_value(RankingSystem::kPageRank, {0}),
+               Error);
+  const f64 v =
+      model.source_portfolio_value(RankingSystem::kSourceRankBaseline, {0, 1});
+  EXPECT_GE(v, 0.0);
+  EXPECT_LE(v, 200.0);
+}
+
+TEST(SpammerModel, ThrottlingDevaluesSpamPortfolio) {
+  // The paper's portfolio metric in action: the defender's throttling
+  // must reduce the aggregate value of the spammer's existing holdings.
+  const auto corpus = fixture();
+  const SpammerModel model(corpus, model_config(corpus));
+  const auto spam = corpus.spam_sources();
+  const f64 open =
+      model.source_portfolio_value(RankingSystem::kSourceRankBaseline, spam);
+  const f64 defended =
+      model.source_portfolio_value(RankingSystem::kThrottledSrsr, spam);
+  EXPECT_LT(defended, 0.8 * open);
+}
+
+}  // namespace
+}  // namespace srsr::core

@@ -1,0 +1,100 @@
+// Tests for SourceMap (core/source_map.hpp).
+#include "core/source_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/webgen.hpp"
+
+namespace srsr::core {
+namespace {
+
+TEST(SourceMap, BasicAssignment) {
+  const SourceMap map({0, 0, 1, 1, 2});
+  EXPECT_EQ(map.num_pages(), 5u);
+  EXPECT_EQ(map.num_sources(), 3u);
+  EXPECT_EQ(map.source_of(0), 0u);
+  EXPECT_EQ(map.source_of(4), 2u);
+  EXPECT_EQ(map.source_page_count()[1], 2u);
+}
+
+TEST(SourceMap, RejectsSparseSourceIds) {
+  // Source 1 missing: ids must be dense.
+  EXPECT_THROW(SourceMap({0, 2}), Error);
+}
+
+TEST(SourceMap, SourceOfOutOfRangeThrows) {
+  const SourceMap map({0, 1});
+  EXPECT_THROW(map.source_of(2), Error);
+}
+
+TEST(SourceMap, IdentityMap) {
+  const SourceMap map = SourceMap::identity(4);
+  EXPECT_EQ(map.num_sources(), 4u);
+  for (NodeId p = 0; p < 4; ++p) EXPECT_EQ(map.source_of(p), p);
+}
+
+TEST(SourceMap, FromUrlsGroupsByHost) {
+  const SourceMap map = SourceMap::from_urls({
+      "http://a.example/1",
+      "http://b.example/1",
+      "http://a.example/2",
+      "https://A.example/3",
+  });
+  EXPECT_EQ(map.num_sources(), 2u);
+  EXPECT_EQ(map.source_of(0), map.source_of(2));
+  EXPECT_EQ(map.source_of(0), map.source_of(3));
+  EXPECT_NE(map.source_of(0), map.source_of(1));
+}
+
+TEST(SourceMap, FromCorpusMatchesGenerator) {
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 50;
+  cfg.seed = 7;
+  const auto corpus = graph::generate_web_corpus(cfg);
+  const SourceMap map = SourceMap::from_corpus(corpus);
+  EXPECT_EQ(map.num_pages(), corpus.num_pages());
+  EXPECT_EQ(map.num_sources(), corpus.num_sources());
+  for (u32 s = 0; s < 50; ++s)
+    EXPECT_EQ(map.source_page_count()[s], corpus.source_page_count[s]);
+}
+
+TEST(SourceMap, PagesBySourceIsInverse) {
+  const SourceMap map({0, 1, 0, 1, 1});
+  const auto& pages = map.pages_by_source();
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_EQ(pages[0], (std::vector<NodeId>{0, 2}));
+  EXPECT_EQ(pages[1], (std::vector<NodeId>{1, 3, 4}));
+}
+
+TEST(SourceMap, LocalityAllIntra) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  const SourceMap map({0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(map.locality(b.build()), 1.0);
+}
+
+TEST(SourceMap, LocalityAllInter) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 2);
+  b.add_edge(1, 3);
+  const SourceMap map({0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(map.locality(b.build()), 0.0);
+}
+
+TEST(SourceMap, LocalityMixed) {
+  graph::GraphBuilder b(4);
+  b.add_edge(0, 1);  // intra
+  b.add_edge(0, 2);  // inter
+  const SourceMap map({0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(map.locality(b.build()), 0.5);
+}
+
+TEST(SourceMap, LocalityGraphSizeMismatchThrows) {
+  const SourceMap map({0, 0});
+  EXPECT_THROW(map.locality(graph::Graph()), Error);
+}
+
+}  // namespace
+}  // namespace srsr::core

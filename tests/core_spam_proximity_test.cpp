@@ -1,0 +1,116 @@
+// Tests for the spam-proximity walk (core/spam_proximity.hpp, Sec. 5).
+#include "core/spam_proximity.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/source_graph.hpp"
+#include "core/source_map.hpp"
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/webgen.hpp"
+
+namespace srsr::core {
+namespace {
+
+TEST(SpamProximity, SeedHasHighestScore) {
+  // Chain of citations INTO spam: b -> a -> s (s is spam).
+  graph::GraphBuilder b(4);
+  b.add_edge(1, 0);  // a -> s
+  b.add_edge(2, 1);  // b -> a
+  // Node 3 is unrelated.
+  const auto r = spam_proximity(b.build(), {0});
+  EXPECT_GT(r.scores[0], r.scores[1]);
+  EXPECT_GT(r.scores[1], r.scores[2]);
+  EXPECT_GT(r.scores[2], r.scores[3]);
+}
+
+TEST(SpamProximity, LinkingToSpamRaisesProximity) {
+  // Two identical bystanders; one of them links to spam.
+  graph::GraphBuilder b(3);
+  b.add_edge(1, 0);  // node 1 endorses spam node 0
+  const auto r = spam_proximity(b.build(), {0});
+  EXPECT_GT(r.scores[1], r.scores[2]);
+}
+
+TEST(SpamProximity, BeingLinkedFromSpamDoesNotRaiseProximity) {
+  // Spam pointing AT you is not your fault: the walk runs on the
+  // inverted graph, so spam out-links do not taint their targets.
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);  // spam 0 -> victim 1
+  const auto r = spam_proximity(b.build(), {0});
+  EXPECT_NEAR(r.scores[1], r.scores[2], 1e-9);
+}
+
+TEST(SpamProximity, ScoresFormDistribution) {
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 100;
+  cfg.num_spam_sources = 5;
+  cfg.seed = 11;
+  const auto corpus = graph::generate_web_corpus(cfg);
+  const SourceMap map = SourceMap::from_corpus(corpus);
+  const SourceGraph sg(corpus.pages, map);
+  const auto r = spam_proximity(sg.topology(), corpus.spam_sources());
+  f64 sum = 0.0;
+  for (const f64 v : r.scores) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(SpamProximity, SeedSubsetStillRanksSpamHigh) {
+  // The paper's regime: seed < 10% of true spam; the full spam cluster
+  // should still score above the median because spam interlinks.
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 400;
+  cfg.num_spam_sources = 40;
+  cfg.spam_exchange_degree = 6;
+  cfg.seed = 12;
+  const auto corpus = graph::generate_web_corpus(cfg);
+  const SourceMap map = SourceMap::from_corpus(corpus);
+  const SourceGraph sg(corpus.pages, map);
+  const auto spam = corpus.spam_sources();
+  // Seed: first 4 spam sources only (10%).
+  const std::vector<NodeId> seeds(spam.begin(), spam.begin() + 4);
+  const auto r = spam_proximity(sg.topology(), seeds);
+  // Average proximity of unseeded spam must exceed that of legit.
+  f64 spam_total = 0.0, legit_total = 0.0;
+  u32 spam_n = 0, legit_n = 0;
+  std::vector<bool> seeded(corpus.num_sources(), false);
+  for (const NodeId s : seeds) seeded[s] = true;
+  for (u32 s = 0; s < corpus.num_sources(); ++s) {
+    if (seeded[s]) continue;
+    if (corpus.source_is_spam[s]) {
+      spam_total += r.scores[s];
+      ++spam_n;
+    } else {
+      legit_total += r.scores[s];
+      ++legit_n;
+    }
+  }
+  EXPECT_GT(spam_total / spam_n, 3.0 * (legit_total / legit_n));
+}
+
+TEST(SpamProximity, RejectsBadSeeds) {
+  const auto g = graph::cycle(3);
+  EXPECT_THROW(spam_proximity(g, {}), Error);
+  EXPECT_THROW(spam_proximity(g, {5}), Error);
+}
+
+TEST(SpamProximity, BetaControlsDecay) {
+  // Higher beta spreads proximity further from the seed.
+  graph::GraphBuilder b(3);
+  b.add_edge(1, 0);
+  b.add_edge(2, 1);
+  SpamProximityConfig low, high;
+  low.beta = 0.5;
+  high.beta = 0.95;
+  const auto g = b.build();
+  const auto rl = spam_proximity(g, {0}, low);
+  const auto rh = spam_proximity(g, {0}, high);
+  // Relative mass on the 2-hop endorser grows with beta.
+  EXPECT_GT(rh.scores[2] / rh.scores[0], rl.scores[2] / rl.scores[0]);
+}
+
+}  // namespace
+}  // namespace srsr::core

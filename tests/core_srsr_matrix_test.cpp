@@ -1,0 +1,112 @@
+// Configuration-space sweep of the full SRSR model: every combination
+// of edge weighting x self-edge augmentation x solver x throttle mode
+// must satisfy the model invariants on a real corpus.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <tuple>
+
+#include "core/srsr.hpp"
+#include "graph/webgen.hpp"
+
+namespace srsr::core {
+namespace {
+
+using Config = std::tuple<EdgeWeighting, bool, SolverKind, ThrottleMode>;
+
+class SrsrConfigSweep : public ::testing::TestWithParam<Config> {
+ protected:
+  static const graph::WebCorpus& corpus() {
+    static const graph::WebCorpus c = [] {
+      graph::WebGenConfig cfg;
+      cfg.num_sources = 150;
+      cfg.num_spam_sources = 10;
+      cfg.seed = 31415;
+      return graph::generate_web_corpus(cfg);
+    }();
+    return c;
+  }
+};
+
+TEST_P(SrsrConfigSweep, RankingIsAValidDistribution) {
+  const auto [weighting, self_edges, solver, mode] = GetParam();
+  SrsrConfig cfg;
+  cfg.weighting = weighting;
+  cfg.self_edges = self_edges;
+  cfg.solver = solver;
+  cfg.throttle_mode = mode;
+  cfg.convergence.tolerance = 1e-10;
+  cfg.convergence.max_iterations = 3000;
+  const SourceMap map = SourceMap::from_corpus(corpus());
+  const SpamResilientSourceRank model(corpus().pages, map, cfg);
+
+  // Mixed throttling vector exercises every transform path.
+  std::vector<f64> kappa(model.num_sources(), 0.0);
+  for (u32 s = 0; s < model.num_sources(); ++s)
+    kappa[s] = (s % 4 == 0) ? 1.0 : (s % 4 == 1 ? 0.5 : 0.0);
+
+  for (const auto& result : {model.rank_baseline(), model.rank(kappa)}) {
+    EXPECT_TRUE(result.converged);
+    f64 sum = 0.0;
+    for (const f64 v : result.scores) {
+      EXPECT_GE(v, 0.0);
+      EXPECT_TRUE(std::isfinite(v));
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_P(SrsrConfigSweep, ThrottledMatrixInvariants) {
+  const auto [weighting, self_edges, solver, mode] = GetParam();
+  SrsrConfig cfg;
+  cfg.weighting = weighting;
+  cfg.self_edges = self_edges;
+  cfg.solver = solver;
+  cfg.throttle_mode = mode;
+  const SourceMap map = SourceMap::from_corpus(corpus());
+  const SpamResilientSourceRank model(corpus().pages, map, cfg);
+  std::vector<f64> kappa(model.num_sources(), 0.0);
+  for (u32 s = 0; s < model.num_sources(); s += 2) kappa[s] = 0.9;
+  const auto t2 = model.throttled_matrix(kappa);
+  for (NodeId r = 0; r < t2.num_rows(); ++r) {
+    const f64 sum = t2.row_sum(r);
+    EXPECT_LE(sum, 1.0 + 1e-9) << "row " << r;
+    if (mode == ThrottleMode::kSelfAbsorb && self_edges) {
+      // Absorb mode on augmented matrices keeps rows fully stochastic.
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "row " << r;
+    }
+    if (mode == ThrottleMode::kTeleportDiscard && self_edges && kappa[r] > 0.0) {
+      // Discard mode surrenders exactly kappa.
+      EXPECT_NEAR(sum, 1.0 - kappa[r], 1e-9) << "row " << r;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConfigs, SrsrConfigSweep,
+    ::testing::Combine(
+        ::testing::Values(EdgeWeighting::kUniform, EdgeWeighting::kConsensus),
+        ::testing::Bool(),
+        ::testing::Values(SolverKind::kPower, SolverKind::kJacobi),
+        ::testing::Values(ThrottleMode::kSelfAbsorb,
+                          ThrottleMode::kTeleportDiscard)),
+    [](const ::testing::TestParamInfo<Config>& info) {
+      // std::get, not structured bindings: commas inside [] break the
+      // INSTANTIATE macro's argument parsing.
+      std::string name;
+      name += std::get<0>(info.param) == EdgeWeighting::kConsensus
+                  ? "consensus"
+                  : "uniform";
+      name += std::get<1>(info.param) ? "_selfedges" : "_bare";
+      name += std::get<2>(info.param) == SolverKind::kPower ? "_power"
+                                                            : "_jacobi";
+      name += std::get<3>(info.param) == ThrottleMode::kSelfAbsorb
+                  ? "_absorb"
+                  : "_discard";
+      return name;
+    });
+
+}  // namespace
+}  // namespace srsr::core

@@ -1,0 +1,194 @@
+// Tests for the influence-throttling transform T' -> T'' (Sec. 3.3).
+#include "core/throttle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/source_graph.hpp"
+#include "core/source_map.hpp"
+#include "graph/webgen.hpp"
+#include "util/rng.hpp"
+
+namespace srsr::core {
+namespace {
+
+using rank::StochasticMatrix;
+using K = std::vector<f64>;
+
+// Row 0: self 0.2, -> 1: 0.5, -> 2: 0.3. Rows 1, 2: pure self-loops.
+StochasticMatrix sample_matrix() {
+  return StochasticMatrix({0, 3, 4, 5}, {0, 1, 2, 1, 2},
+                          {0.2, 0.5, 0.3, 1.0, 1.0});
+}
+
+TEST(Throttle, KappaZeroIsIdentity) {
+  const auto t = sample_matrix();
+  const auto t2 = apply_throttle(t, std::vector<f64>(3, 0.0));
+  for (NodeId r = 0; r < 3; ++r) {
+    for (NodeId c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(t2.weight(r, c), t.weight(r, c));
+  }
+}
+
+TEST(Throttle, RaisesSelfWeightToKappa) {
+  const auto t2 = apply_throttle(sample_matrix(), K{0.6, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(t2.weight(0, 0), 0.6);
+  // Off-diagonals rescaled proportionally to sum 0.4: 0.5/0.8*0.4 and
+  // 0.3/0.8*0.4.
+  EXPECT_DOUBLE_EQ(t2.weight(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(t2.weight(0, 2), 0.15);
+}
+
+TEST(Throttle, RowAlreadyMeetingFloorIsUntouched) {
+  // kappa below the existing self weight: no change at all.
+  const auto t2 = apply_throttle(sample_matrix(), K{0.1, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(t2.weight(0, 0), 0.2);
+  EXPECT_DOUBLE_EQ(t2.weight(0, 1), 0.5);
+}
+
+TEST(Throttle, FullThrottleKillsOutflow) {
+  const auto t2 = apply_throttle(sample_matrix(), K{1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(t2.weight(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t2.weight(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(t2.weight(0, 2), 0.0);
+  EXPECT_NEAR(t2.row_sum(0), 1.0, 1e-12);
+}
+
+TEST(Throttle, OffDiagonalProportionsPreserved) {
+  const auto t2 = apply_throttle(sample_matrix(), K{0.9, 0.0, 0.0});
+  // 0.5 : 0.3 ratio must survive the rescale.
+  EXPECT_NEAR(t2.weight(0, 1) / t2.weight(0, 2), 0.5 / 0.3, 1e-12);
+}
+
+TEST(Throttle, PureSelfLoopUnchangedByAnyKappa) {
+  for (const f64 k : {0.0, 0.3, 0.9, 1.0}) {
+    const auto t2 = apply_throttle(sample_matrix(), K{0.0, k, 0.0});
+    EXPECT_DOUBLE_EQ(t2.weight(1, 1), 1.0);
+  }
+}
+
+TEST(Throttle, MissingSelfEntryIsSplicedIn) {
+  // Row without an explicit self entry: 0 -> 1 only.
+  const StochasticMatrix t({0, 1, 2}, {1, 1}, {1.0, 1.0});
+  const auto t2 = apply_throttle(t, K{0.4, 0.0});
+  EXPECT_DOUBLE_EQ(t2.weight(0, 0), 0.4);
+  EXPECT_DOUBLE_EQ(t2.weight(0, 1), 0.6);
+  EXPECT_NEAR(t2.row_sum(0), 1.0, 1e-12);
+}
+
+TEST(Throttle, DanglingRowBehaviour) {
+  const StochasticMatrix t({0, 0, 1}, {1}, {1.0});
+  // kappa = 0: stays dangling.
+  EXPECT_TRUE(apply_throttle(t, K{0.0, 0.0}).is_dangling_row(0));
+  // kappa > 0: becomes a pure self-loop.
+  const auto t2 = apply_throttle(t, K{0.5, 0.0});
+  EXPECT_DOUBLE_EQ(t2.weight(0, 0), 1.0);
+}
+
+TEST(Throttle, RejectsBadKappa) {
+  const auto t = sample_matrix();
+  EXPECT_THROW(apply_throttle(t, K{0.5, 0.5}), Error);  // size mismatch
+  EXPECT_THROW(apply_throttle(t, K{-0.1, 0.0, 0.0}), Error);
+  EXPECT_THROW(apply_throttle(t, K{1.1, 0.0, 0.0}), Error);
+}
+
+TEST(Throttle, SelfWeightsHelper) {
+  const auto sw = self_weights(sample_matrix());
+  ASSERT_EQ(sw.size(), 3u);
+  EXPECT_DOUBLE_EQ(sw[0], 0.2);
+  EXPECT_DOUBLE_EQ(sw[1], 1.0);
+  EXPECT_DOUBLE_EQ(sw[2], 1.0);
+}
+
+TEST(Throttle, IdempotentUnderSameKappa) {
+  const std::vector<f64> kappa{0.7, 0.2, 0.0};
+  const auto once = apply_throttle(sample_matrix(), kappa);
+  const auto twice = apply_throttle(once, kappa);
+  for (NodeId r = 0; r < 3; ++r)
+    for (NodeId c = 0; c < 3; ++c)
+      EXPECT_DOUBLE_EQ(twice.weight(r, c), once.weight(r, c));
+}
+
+TEST(ThrottleDiscard, MandatedMassBecomesDeficit) {
+  const auto t2 = apply_throttle(sample_matrix(), K{0.6, 0.0, 0.0},
+                                 ThrottleMode::kTeleportDiscard);
+  // No self entry; off-diagonals rescaled to 1 - kappa; row deficit 0.6.
+  EXPECT_DOUBLE_EQ(t2.weight(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(t2.weight(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(t2.weight(0, 2), 0.15);
+  EXPECT_NEAR(t2.row_deficits()[0], 0.6, 1e-12);
+}
+
+TEST(ThrottleDiscard, FullThrottleEmptiesRow) {
+  const auto t2 = apply_throttle(sample_matrix(), K{1.0, 0.0, 0.0},
+                                 ThrottleMode::kTeleportDiscard);
+  EXPECT_TRUE(t2.is_dangling_row(0));
+}
+
+TEST(ThrottleDiscard, SurrendersFromSelfEdgeFirst) {
+  // self = 0.2 >= kappa = 0.1: the surrendered 0.1 comes entirely out
+  // of the self-edge; out-edges are untouched.
+  const auto t2 = apply_throttle(sample_matrix(), K{0.1, 0.0, 0.0},
+                                 ThrottleMode::kTeleportDiscard);
+  EXPECT_NEAR(t2.weight(0, 0), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(t2.weight(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(t2.weight(0, 2), 0.3);
+  EXPECT_NEAR(t2.row_deficits()[0], 0.1, 1e-12);
+}
+
+TEST(ThrottleDiscard, ExactlyKappaIsSurrendered) {
+  for (const f64 k : {0.0, 0.3, 0.7, 1.0}) {
+    const auto t2 = apply_throttle(sample_matrix(), K{k, 0.0, 0.0},
+                                   ThrottleMode::kTeleportDiscard);
+    EXPECT_NEAR(t2.row_sum(0), 1.0 - k, 1e-12) << "kappa=" << k;
+  }
+}
+
+TEST(ThrottleDiscard, PureSelfLoopLosesKappaMass) {
+  // Unlike absorb mode, discard denies a pure self-loop (e.g. a link
+  // farm that cut all out-edges) its self-retention: kappa = 1 empties
+  // the row entirely.
+  const auto t2 = apply_throttle(sample_matrix(), K{0.0, 1.0, 0.0},
+                                 ThrottleMode::kTeleportDiscard);
+  EXPECT_TRUE(t2.is_dangling_row(1));
+  const auto half = apply_throttle(sample_matrix(), K{0.0, 0.4, 0.0},
+                                   ThrottleMode::kTeleportDiscard);
+  EXPECT_NEAR(half.weight(1, 1), 0.6, 1e-12);
+}
+
+TEST(ThrottleDiscard, DanglingRowStaysDangling) {
+  const rank::StochasticMatrix t({0, 0, 1}, {1}, {1.0});
+  const auto t2 =
+      apply_throttle(t, K{0.5, 0.0}, ThrottleMode::kTeleportDiscard);
+  EXPECT_TRUE(t2.is_dangling_row(0));
+}
+
+// Property sweep over kappa values on a real consensus matrix.
+class ThrottleProperty : public ::testing::TestWithParam<f64> {};
+
+TEST_P(ThrottleProperty, RowsStochasticAndFloorMet) {
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 150;
+  cfg.num_spam_sources = 8;
+  cfg.seed = 314;
+  const auto corpus = graph::generate_web_corpus(cfg);
+  const SourceMap map = SourceMap::from_corpus(corpus);
+  const SourceGraph sg(corpus.pages, map);
+  const auto tprime = sg.consensus_matrix(true);
+
+  const f64 k = GetParam();
+  // Mixed kappa: alternate between 0 and the sweep value.
+  std::vector<f64> kappa(sg.num_sources(), 0.0);
+  for (u32 s = 0; s < sg.num_sources(); s += 2) kappa[s] = k;
+  const auto t2 = apply_throttle(tprime, kappa);
+  const auto sw = self_weights(t2);
+  for (NodeId r = 0; r < t2.num_rows(); ++r) {
+    EXPECT_NEAR(t2.row_sum(r), 1.0, 1e-9) << "row " << r;
+    EXPECT_GE(sw[r], kappa[r] - 1e-12) << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kappas, ThrottleProperty,
+                         ::testing::Values(0.1, 0.5, 0.8, 0.9, 0.99, 1.0));
+
+}  // namespace
+}  // namespace srsr::core

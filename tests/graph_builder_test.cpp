@@ -1,0 +1,127 @@
+// Tests for GraphBuilder (graph/builder.hpp): dedup, sorting, growth.
+#include "graph/builder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/rng.hpp"
+
+namespace srsr::graph {
+namespace {
+
+TEST(GraphBuilder, EmptyBuild) {
+  GraphBuilder b(5);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(GraphBuilder, SortsNeighbors) {
+  GraphBuilder b(4);
+  b.add_edge(0, 3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  const auto nbrs = g.out_neighbors(0);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+}
+
+TEST(GraphBuilder, DeduplicatesParallelEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.out_degree(0), 2u);
+}
+
+TEST(GraphBuilder, KeepsSelfLoops) {
+  GraphBuilder b(2);
+  b.add_edge(1, 1);
+  const Graph g = b.build();
+  EXPECT_TRUE(g.has_edge(1, 1));
+}
+
+TEST(GraphBuilder, RejectsOutOfRangeIds) {
+  GraphBuilder b(2);
+  EXPECT_THROW(b.add_edge(0, 2), Error);
+  EXPECT_THROW(b.add_edge(2, 0), Error);
+}
+
+TEST(GraphBuilder, GrowExtendsIdSpace) {
+  GraphBuilder b(2);
+  b.grow(5);
+  b.add_edge(4, 0);
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_TRUE(g.has_edge(4, 0));
+}
+
+TEST(GraphBuilder, GrowNeverShrinks) {
+  GraphBuilder b(5);
+  b.grow(2);
+  EXPECT_EQ(b.num_nodes(), 5u);
+}
+
+TEST(GraphBuilder, AddNodeReturnsFreshIds) {
+  GraphBuilder b(1);
+  EXPECT_EQ(b.add_node(), 1u);
+  EXPECT_EQ(b.add_node(), 2u);
+  b.add_edge(2, 0);
+  EXPECT_EQ(b.build().num_nodes(), 3u);
+}
+
+TEST(GraphBuilder, FromExistingGraphRoundTrips) {
+  GraphBuilder b(4);
+  b.add_edge(0, 1);
+  b.add_edge(2, 3);
+  b.add_edge(3, 0);
+  const Graph g = b.build();
+  GraphBuilder b2(g);
+  EXPECT_EQ(b2.build(), g);
+}
+
+TEST(GraphBuilder, IncrementalEditPreservesOriginalEdges) {
+  GraphBuilder b(3);
+  b.add_edge(0, 1);
+  const Graph g = b.build();
+  GraphBuilder b2(g);
+  b2.add_edge(1, 2);
+  const Graph g2 = b2.build();
+  EXPECT_TRUE(g2.has_edge(0, 1));
+  EXPECT_TRUE(g2.has_edge(1, 2));
+  EXPECT_EQ(g2.num_edges(), 2u);
+}
+
+// Property: building from a random multiset of edges yields exactly the
+// distinct-edge set, sorted.
+class BuilderRandomized : public ::testing::TestWithParam<u64> {};
+
+TEST_P(BuilderRandomized, MatchesReferenceSet) {
+  Pcg32 rng(GetParam());
+  const NodeId n = 50;
+  GraphBuilder b(n);
+  std::vector<std::pair<NodeId, NodeId>> reference;
+  for (int i = 0; i < 2000; ++i) {
+    const NodeId u = rng.next_below(n);
+    const NodeId v = rng.next_below(n);
+    b.add_edge(u, v);
+    reference.emplace_back(u, v);
+  }
+  std::sort(reference.begin(), reference.end());
+  reference.erase(std::unique(reference.begin(), reference.end()),
+                  reference.end());
+  const Graph g = b.build();
+  EXPECT_EQ(g.num_edges(), reference.size());
+  for (const auto& [u, v] : reference) EXPECT_TRUE(g.has_edge(u, v));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BuilderRandomized,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u));
+
+}  // namespace
+}  // namespace srsr::graph

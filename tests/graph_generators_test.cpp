@@ -1,0 +1,134 @@
+// Tests for the classic graph generators (graph/generators.hpp).
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+namespace srsr::graph {
+namespace {
+
+TEST(Complete, AllEdgesNoSelfLoops) {
+  const Graph g = complete(5);
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 20u);
+  for (NodeId u = 0; u < 5; ++u) {
+    EXPECT_FALSE(g.has_edge(u, u));
+    for (NodeId v = 0; v < 5; ++v)
+      if (u != v) EXPECT_TRUE(g.has_edge(u, v));
+  }
+}
+
+TEST(Complete, SingleNode) {
+  const Graph g = complete(1);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Cycle, RingStructure) {
+  const Graph g = cycle(4);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(3, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  for (NodeId u = 0; u < 4; ++u) EXPECT_EQ(g.out_degree(u), 1u);
+}
+
+TEST(Cycle, SingleNodeIsSelfLoop) {
+  const Graph g = cycle(1);
+  EXPECT_TRUE(g.has_edge(0, 0));
+}
+
+TEST(Path, LineStructureWithDanglingTail) {
+  const Graph g = path(4);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 3));
+  EXPECT_EQ(g.out_degree(3), 0u);
+  EXPECT_EQ(g.num_dangling(), 1u);
+}
+
+TEST(Star, UnidirectionalLeavesPointAtHub) {
+  const Graph g = star(5, /*bidirectional=*/false);
+  EXPECT_EQ(g.num_edges(), 4u);
+  for (NodeId leaf = 1; leaf < 5; ++leaf) EXPECT_TRUE(g.has_edge(leaf, 0));
+  EXPECT_EQ(g.out_degree(0), 0u);
+}
+
+TEST(Star, BidirectionalHubPointsBack) {
+  const Graph g = star(4, /*bidirectional=*/true);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.out_degree(0), 3u);
+}
+
+TEST(Star, RejectsTooSmall) { EXPECT_THROW(star(1, false), Error); }
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  Pcg32 rng(101);
+  const NodeId n = 200;
+  const f64 p = 0.05;
+  const Graph g = erdos_renyi(n, p, rng);
+  const f64 expected = p * n * (n - 1);
+  EXPECT_GT(static_cast<f64>(g.num_edges()), expected * 0.85);
+  EXPECT_LT(static_cast<f64>(g.num_edges()), expected * 1.15);
+}
+
+TEST(ErdosRenyi, NoSelfLoops) {
+  Pcg32 rng(102);
+  const Graph g = erdos_renyi(50, 0.2, rng);
+  for (NodeId u = 0; u < 50; ++u) EXPECT_FALSE(g.has_edge(u, u));
+}
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  Pcg32 rng(103);
+  EXPECT_EQ(erdos_renyi(10, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(erdos_renyi(10, 1.0, rng).num_edges(), 90u);
+}
+
+TEST(ErdosRenyi, DeterministicGivenRngState) {
+  Pcg32 a(7), b(7);
+  EXPECT_EQ(erdos_renyi(40, 0.1, a), erdos_renyi(40, 0.1, b));
+}
+
+TEST(ErdosRenyi, RejectsBadP) {
+  Pcg32 rng(1);
+  EXPECT_THROW(erdos_renyi(10, -0.1, rng), Error);
+  EXPECT_THROW(erdos_renyi(10, 1.1, rng), Error);
+}
+
+TEST(BarabasiAlbert, EveryLateNodeEmitsMEdges) {
+  Pcg32 rng(104);
+  const Graph g = barabasi_albert(100, 3, rng);
+  for (NodeId u = 3; u < 100; ++u) EXPECT_EQ(g.out_degree(u), 3u);
+}
+
+TEST(BarabasiAlbert, EdgesPointBackwards) {
+  Pcg32 rng(105);
+  const Graph g = barabasi_albert(60, 2, rng);
+  for (NodeId u = 0; u < 60; ++u)
+    for (const NodeId v : g.out_neighbors(u)) EXPECT_LT(v, u);
+}
+
+TEST(BarabasiAlbert, InDegreesAreHeavyTailed) {
+  Pcg32 rng(106);
+  const Graph g = barabasi_albert(2000, 2, rng);
+  const auto in = g.in_degrees();
+  u64 max_in = 0;
+  f64 sum = 0;
+  for (const u64 d : in) {
+    max_in = std::max(max_in, d);
+    sum += static_cast<f64>(d);
+  }
+  const f64 mean = sum / static_cast<f64>(in.size());
+  // Preferential attachment: the hub's in-degree dwarfs the mean.
+  EXPECT_GT(static_cast<f64>(max_in), 10.0 * mean);
+}
+
+TEST(BarabasiAlbert, RejectsBadParameters) {
+  Pcg32 rng(1);
+  EXPECT_THROW(barabasi_albert(5, 5, rng), Error);
+  EXPECT_THROW(barabasi_albert(5, 0, rng), Error);
+}
+
+}  // namespace
+}  // namespace srsr::graph

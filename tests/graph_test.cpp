@@ -1,0 +1,98 @@
+// Tests for the immutable CSR Graph (graph/graph.hpp).
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+
+namespace srsr::graph {
+namespace {
+
+Graph triangle() {
+  // 0 -> 1, 1 -> 2, 2 -> 0
+  return Graph({0, 1, 2, 3}, {1, 2, 0});
+}
+
+TEST(Graph, EmptyGraph) {
+  const Graph g;
+  EXPECT_EQ(g.num_nodes(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Graph, BasicAccessors) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  ASSERT_EQ(g.out_neighbors(1).size(), 1u);
+  EXPECT_EQ(g.out_neighbors(1)[0], 2u);
+}
+
+TEST(Graph, HasEdge) {
+  const Graph g = triangle();
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_TRUE(g.has_edge(2, 0));
+  EXPECT_FALSE(g.has_edge(0, 0));
+}
+
+TEST(Graph, HasEdgeOutOfRangeThrows) {
+  const Graph g = triangle();
+  EXPECT_THROW(g.has_edge(3, 0), Error);
+  EXPECT_THROW(g.has_edge(0, 3), Error);
+}
+
+TEST(Graph, DanglingNodes) {
+  // 0 -> 1, 2 has no out-edges.
+  const Graph g({0, 1, 1, 1}, {1});
+  const auto dangling = g.dangling_nodes();
+  ASSERT_EQ(dangling.size(), 2u);
+  EXPECT_EQ(dangling[0], 1u);
+  EXPECT_EQ(dangling[1], 2u);
+  EXPECT_EQ(g.num_dangling(), 2u);
+}
+
+TEST(Graph, InDegrees) {
+  const Graph g({0, 2, 3, 3}, {1, 2, 2});  // 0->1, 0->2, 1->2
+  const auto in = g.in_degrees();
+  EXPECT_EQ(in[0], 0u);
+  EXPECT_EQ(in[1], 1u);
+  EXPECT_EQ(in[2], 2u);
+}
+
+TEST(Graph, SelfLoopAllowed) {
+  const Graph g({0, 1}, {0});
+  EXPECT_TRUE(g.has_edge(0, 0));
+}
+
+TEST(Graph, ValidationRejectsUnsortedNeighbors) {
+  EXPECT_THROW(Graph({0, 2}, {1, 0}), Error);
+}
+
+TEST(Graph, ValidationRejectsDuplicateNeighbors) {
+  EXPECT_THROW(Graph({0, 2, 2}, {1, 1}), Error);
+}
+
+TEST(Graph, ValidationRejectsOutOfRangeTarget) {
+  EXPECT_THROW(Graph({0, 1}, {5}), Error);
+}
+
+TEST(Graph, ValidationRejectsBadOffsets) {
+  EXPECT_THROW(Graph({1, 2}, {0}), Error);          // doesn't start at 0
+  EXPECT_THROW(Graph({0, 2}, {0}), Error);          // end != targets size
+  EXPECT_THROW(Graph({}, {}), Error);               // empty offsets
+}
+
+TEST(Graph, EqualityIsStructural) {
+  EXPECT_EQ(triangle(), triangle());
+  const Graph other({0, 1, 2, 3}, {2, 0, 1});  // reversed triangle
+  EXPECT_NE(triangle(), other);
+}
+
+TEST(Graph, MemoryBytesAccounting) {
+  const Graph g = triangle();
+  EXPECT_EQ(g.memory_bytes(), 4 * sizeof(u64) + 3 * sizeof(NodeId));
+}
+
+}  // namespace
+}  // namespace srsr::graph

@@ -1,0 +1,116 @@
+// Tests for spam-detection quality metrics (metrics/detection.hpp).
+#include "metrics/detection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace srsr::metrics {
+namespace {
+
+TEST(PrecisionRecallCounts, ConfusionMatrixBasics) {
+  const std::vector<u8> flagged{1, 1, 0, 0, 1};
+  const std::vector<u8> labels{1, 0, 1, 0, 1};
+  const auto pr = precision_recall(flagged, labels);
+  EXPECT_EQ(pr.true_positives, 2u);
+  EXPECT_EQ(pr.false_positives, 1u);
+  EXPECT_EQ(pr.false_negatives, 1u);
+  EXPECT_DOUBLE_EQ(pr.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(pr.f1, 2.0 / 3.0);
+}
+
+TEST(PrecisionRecallCounts, NothingFlagged) {
+  const std::vector<u8> flagged{0, 0};
+  const std::vector<u8> labels{1, 0};
+  const auto pr = precision_recall(flagged, labels);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.0);
+  EXPECT_DOUBLE_EQ(pr.f1, 0.0);
+}
+
+TEST(PrecisionRecallCounts, PerfectDetector) {
+  const std::vector<u8> flagged{1, 0, 1};
+  const std::vector<u8> labels{1, 0, 1};
+  const auto pr = precision_recall(flagged, labels);
+  EXPECT_DOUBLE_EQ(pr.precision, 1.0);
+  EXPECT_DOUBLE_EQ(pr.recall, 1.0);
+  EXPECT_DOUBLE_EQ(pr.f1, 1.0);
+}
+
+TEST(PrecisionRecallCounts, SizeMismatchThrows) {
+  const std::vector<u8> a{1};
+  const std::vector<u8> b{1, 0};
+  EXPECT_THROW(precision_recall(a, b), Error);
+}
+
+TEST(PrecisionAtK, TopKFlaggedByScore) {
+  const std::vector<f64> scores{0.9, 0.1, 0.8, 0.2};
+  const std::vector<u8> labels{1, 1, 0, 0};
+  // top-2 = {0, 2}: one true positive of two flagged; one missed.
+  const auto pr = precision_recall_at_k(scores, labels, 2);
+  EXPECT_DOUBLE_EQ(pr.precision, 0.5);
+  EXPECT_DOUBLE_EQ(pr.recall, 0.5);
+}
+
+TEST(PrecisionAtK, KZeroAndKFull) {
+  const std::vector<f64> scores{0.9, 0.1};
+  const std::vector<u8> labels{1, 0};
+  EXPECT_DOUBLE_EQ(precision_recall_at_k(scores, labels, 0).recall, 0.0);
+  const auto full = precision_recall_at_k(scores, labels, 2);
+  EXPECT_DOUBLE_EQ(full.recall, 1.0);
+  EXPECT_DOUBLE_EQ(full.precision, 0.5);
+  EXPECT_THROW(precision_recall_at_k(scores, labels, 3), Error);
+}
+
+TEST(AveragePrecision, PerfectRankingIsOne) {
+  const std::vector<f64> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<u8> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(average_precision(scores, labels), 1.0);
+}
+
+TEST(AveragePrecision, WorstRankingKnownValue) {
+  // Positives at ranks 3 and 4 of 4: AP = (1/3 + 2/4) / 2.
+  const std::vector<f64> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<u8> labels{0, 0, 1, 1};
+  EXPECT_NEAR(average_precision(scores, labels), (1.0 / 3.0 + 0.5) / 2.0,
+              1e-12);
+}
+
+TEST(AveragePrecision, NoPositivesThrows) {
+  const std::vector<f64> scores{0.5};
+  const std::vector<u8> labels{0};
+  EXPECT_THROW(average_precision(scores, labels), Error);
+}
+
+TEST(RocAuc, PerfectAndReversed) {
+  const std::vector<f64> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<u8> perfect{1, 1, 0, 0};
+  const std::vector<u8> reversed{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, perfect), 1.0);
+  EXPECT_DOUBLE_EQ(roc_auc(scores, reversed), 0.0);
+}
+
+TEST(RocAuc, RandomScoresGiveHalf) {
+  // All scores tied: AUC must be exactly 0.5 via midranks.
+  const std::vector<f64> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<u8> labels{1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.5);
+}
+
+TEST(RocAuc, KnownMixedCase) {
+  // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+  // Pairs: (0.8>0.6),(0.8>0.2),(0.4<0.6),(0.4>0.2) -> 3/4.
+  const std::vector<f64> scores{0.8, 0.6, 0.4, 0.2};
+  const std::vector<u8> labels{1, 0, 1, 0};
+  EXPECT_DOUBLE_EQ(roc_auc(scores, labels), 0.75);
+}
+
+TEST(RocAuc, NeedsBothClasses) {
+  const std::vector<f64> scores{0.5, 0.6};
+  const std::vector<u8> all_pos{1, 1};
+  EXPECT_THROW(roc_auc(scores, all_pos), Error);
+}
+
+}  // namespace
+}  // namespace srsr::metrics

@@ -1,0 +1,159 @@
+// Tests for rank-space metrics (metrics/ranking.hpp).
+#include "metrics/ranking.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace srsr::metrics {
+namespace {
+
+TEST(RanksByScore, DescendingCompetitionRanks) {
+  const std::vector<f64> scores{0.1, 0.5, 0.3};
+  const auto ranks = ranks_by_score(scores);
+  EXPECT_EQ(ranks[1], 1u);
+  EXPECT_EQ(ranks[2], 2u);
+  EXPECT_EQ(ranks[0], 3u);
+}
+
+TEST(RanksByScore, TiesShareSmallestRank) {
+  const std::vector<f64> scores{0.5, 0.5, 0.1, 0.5};
+  const auto ranks = ranks_by_score(scores);
+  EXPECT_EQ(ranks[0], 1u);
+  EXPECT_EQ(ranks[1], 1u);
+  EXPECT_EQ(ranks[3], 1u);
+  EXPECT_EQ(ranks[2], 4u);  // competition ranking: 1,1,1,4
+}
+
+TEST(PercentileOf, ExtremesAndMiddle) {
+  const std::vector<f64> scores{0.1, 0.2, 0.3, 0.4, 0.5};
+  EXPECT_DOUBLE_EQ(percentile_of(scores, 4), 100.0);
+  EXPECT_DOUBLE_EQ(percentile_of(scores, 0), 0.0);
+  EXPECT_DOUBLE_EQ(percentile_of(scores, 2), 50.0);
+}
+
+TEST(PercentileOf, SingletonIsTop) {
+  const std::vector<f64> one{0.7};
+  EXPECT_DOUBLE_EQ(percentile_of(one, 0), 100.0);
+}
+
+TEST(PercentileOf, OutOfRangeThrows) {
+  const std::vector<f64> scores{0.1};
+  EXPECT_THROW(percentile_of(scores, 1), Error);
+}
+
+TEST(EqualCountBuckets, EvenSplit) {
+  // 8 nodes, 4 buckets: descending score order fills bucket 0 first.
+  std::vector<f64> scores(8);
+  for (int i = 0; i < 8; ++i) scores[i] = 8.0 - i;  // node 0 highest
+  const auto b = equal_count_buckets(scores, 4);
+  EXPECT_EQ(b[0], 0u);
+  EXPECT_EQ(b[1], 0u);
+  EXPECT_EQ(b[2], 1u);
+  EXPECT_EQ(b[7], 3u);
+}
+
+TEST(EqualCountBuckets, UnevenSplitFrontLoaded) {
+  // 7 nodes, 3 buckets -> sizes 3, 2, 2.
+  std::vector<f64> scores(7);
+  for (int i = 0; i < 7; ++i) scores[i] = 7.0 - i;
+  const auto b = equal_count_buckets(scores, 3);
+  u32 counts[3] = {0, 0, 0};
+  for (const u32 x : b) ++counts[x];
+  EXPECT_EQ(counts[0], 3u);
+  EXPECT_EQ(counts[1], 2u);
+  EXPECT_EQ(counts[2], 2u);
+}
+
+TEST(EqualCountBuckets, RejectsBadArguments) {
+  const std::vector<f64> scores{1.0, 2.0};
+  EXPECT_THROW(equal_count_buckets(scores, 0), Error);
+  EXPECT_THROW(equal_count_buckets(scores, 3), Error);
+}
+
+TEST(BucketOccupancy, CountsMarkedPerBucket) {
+  const std::vector<u32> buckets{0, 0, 1, 1, 2};
+  const std::vector<NodeId> marked{0, 2, 3};
+  const auto occ = bucket_occupancy(buckets, marked, 3);
+  EXPECT_EQ(occ[0], 1u);
+  EXPECT_EQ(occ[1], 2u);
+  EXPECT_EQ(occ[2], 0u);
+}
+
+TEST(BucketOccupancy, TotalEqualsMarkedCount) {
+  const std::vector<u32> buckets{0, 1, 2, 0, 1};
+  const std::vector<NodeId> marked{0, 1, 2, 3, 4};
+  const auto occ = bucket_occupancy(buckets, marked, 3);
+  EXPECT_EQ(occ[0] + occ[1] + occ[2], 5u);
+}
+
+TEST(KendallTau, IdenticalOrderIsOne) {
+  const std::vector<f64> a{0.4, 0.3, 0.2, 0.1};
+  EXPECT_NEAR(kendall_tau(a, a), 1.0, 1e-12);
+}
+
+TEST(KendallTau, ReversedOrderIsMinusOne) {
+  const std::vector<f64> a{0.4, 0.3, 0.2, 0.1};
+  const std::vector<f64> b{0.1, 0.2, 0.3, 0.4};
+  EXPECT_NEAR(kendall_tau(a, b), -1.0, 1e-12);
+}
+
+TEST(KendallTau, OneSwapOnFourItems) {
+  // One adjacent transposition among 6 pairs: tau = 1 - 2/6.
+  const std::vector<f64> a{4, 3, 2, 1};
+  const std::vector<f64> b{4, 3, 1, 2};
+  EXPECT_NEAR(kendall_tau(a, b), 1.0 - 2.0 / 6.0, 1e-12);
+}
+
+TEST(KendallTau, SizeMismatchThrows) {
+  const std::vector<f64> a{1, 2};
+  const std::vector<f64> b{1};
+  EXPECT_THROW(kendall_tau(a, b), Error);
+}
+
+TEST(SpearmanFootrule, ZeroForIdenticalRanks) {
+  const std::vector<f64> a{5, 4, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(spearman_footrule(a, a), 0.0);
+}
+
+TEST(SpearmanFootrule, OneForReversedEvenN) {
+  const std::vector<f64> a{4, 3, 2, 1};
+  const std::vector<f64> b{1, 2, 3, 4};
+  EXPECT_NEAR(spearman_footrule(a, b), 1.0, 1e-12);
+}
+
+TEST(TopKOverlap, FullAndEmptyOverlap) {
+  const std::vector<f64> a{0.9, 0.8, 0.1, 0.05};
+  const std::vector<f64> b{0.7, 0.9, 0.2, 0.01};
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 2), 1.0);  // {0,1} both
+  const std::vector<f64> c{0.05, 0.1, 0.8, 0.9};
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, c, 2), 0.0);
+}
+
+TEST(TopKOverlap, PartialOverlap) {
+  const std::vector<f64> a{0.9, 0.8, 0.7, 0.1};
+  const std::vector<f64> b{0.9, 0.1, 0.7, 0.8};
+  // top-2(a) = {0,1}; top-2(b) = {0,3} -> overlap 1/2.
+  EXPECT_DOUBLE_EQ(top_k_overlap(a, b, 2), 0.5);
+}
+
+TEST(TopKOverlap, RejectsBadK) {
+  const std::vector<f64> a{1.0};
+  EXPECT_THROW(top_k_overlap(a, a, 0), Error);
+  EXPECT_THROW(top_k_overlap(a, a, 2), Error);
+}
+
+TEST(Percentile, MovesWithScoreManipulation) {
+  // The Fig. 6/7 measurement pattern: raising a node's score raises its
+  // percentile monotonically.
+  std::vector<f64> scores(100);
+  for (int i = 0; i < 100; ++i) scores[i] = static_cast<f64>(i);
+  const f64 before = percentile_of(scores, 10);
+  scores[10] = 75.5;
+  const f64 after = percentile_of(scores, 10);
+  EXPECT_NEAR(before, 10.0 * 100.0 / 99.0, 1e-9);
+  EXPECT_GT(after, before + 60.0);
+}
+
+}  // namespace
+}  // namespace srsr::metrics

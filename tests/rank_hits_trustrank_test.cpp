@@ -1,0 +1,121 @@
+// Tests for the HITS and TrustRank baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "rank/hits.hpp"
+#include "rank/trustrank.hpp"
+#include "util/rng.hpp"
+
+namespace srsr::rank {
+namespace {
+
+TEST(Hits, EmptyGraph) {
+  const auto r = hits(graph::Graph());
+  EXPECT_TRUE(r.converged);
+  EXPECT_TRUE(r.authorities.empty());
+}
+
+TEST(Hits, StarAuthorityIsTheHubTarget) {
+  // Leaves 1..n-1 point at node 0: node 0 is the authority, the leaves
+  // are the hubs.
+  const auto r = hits(graph::star(6, /*bidirectional=*/false));
+  ASSERT_TRUE(r.converged);
+  for (NodeId leaf = 1; leaf < 6; ++leaf) {
+    EXPECT_GT(r.authorities[0], r.authorities[leaf]);
+    EXPECT_GT(r.hubs[leaf], r.hubs[0]);
+  }
+}
+
+TEST(Hits, ScoresAreL2Normalized) {
+  Pcg32 rng(61);
+  const auto g = graph::erdos_renyi(60, 0.08, rng);
+  const auto r = hits(g);
+  f64 sa = 0.0, sh = 0.0;
+  for (const f64 v : r.authorities) sa += v * v;
+  for (const f64 v : r.hubs) sh += v * v;
+  EXPECT_NEAR(std::sqrt(sa), 1.0, 1e-9);
+  EXPECT_NEAR(std::sqrt(sh), 1.0, 1e-9);
+}
+
+TEST(Hits, ScoresAreNonNegative) {
+  Pcg32 rng(62);
+  const auto g = graph::erdos_renyi(40, 0.1, rng);
+  const auto r = hits(g);
+  for (const f64 v : r.authorities) EXPECT_GE(v, 0.0);
+  for (const f64 v : r.hubs) EXPECT_GE(v, 0.0);
+}
+
+TEST(Hits, CompleteGraphIsUniform) {
+  const auto r = hits(graph::complete(5));
+  for (const f64 v : r.authorities) EXPECT_NEAR(v, 1.0 / std::sqrt(5.0), 1e-7);
+  for (const f64 v : r.hubs) EXPECT_NEAR(v, 1.0 / std::sqrt(5.0), 1e-7);
+}
+
+TEST(Hits, LinkFarmInflatesAuthority) {
+  // The very vulnerability the paper cites: tau farm pages pointing at
+  // a target raise its HITS authority *relative to a legitimate
+  // authority* (scores are L2-normalized, so compare ratios).
+  auto background = [](graph::GraphBuilder& b) {
+    b.add_edge(1, 0);  // target 0 has one organic endorsement
+    for (NodeId u = 2; u < 8; ++u) b.add_edge(u, 9);  // node 9 is the
+                                                      // legit authority
+  };
+  graph::GraphBuilder clean_b(30);
+  background(clean_b);
+  const auto clean = hits(clean_b.build());
+  graph::GraphBuilder spam_b(30);
+  background(spam_b);
+  for (NodeId farm = 10; farm < 30; ++farm) spam_b.add_edge(farm, 0);
+  const auto spammed = hits(spam_b.build());
+  EXPECT_GT(spammed.authorities[0] / spammed.authorities[9],
+            clean.authorities[0] / clean.authorities[9]);
+}
+
+TEST(TrustRank, SeedsGetHighTrust) {
+  // Chain 0 -> 1 -> 2 -> 3; trust seeded at 0 decays along the chain.
+  const auto g = graph::path(4);
+  const auto r = trustrank(g, {0});
+  EXPECT_GT(r.scores[0], r.scores[2]);
+  EXPECT_GT(r.scores[1], r.scores[2]);
+}
+
+TEST(TrustRank, TrustPropagatesForward) {
+  // Node unreachable from the seed gets only dangling-redistribution
+  // crumbs, far below the seed's own score.
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);  // 2 is isolated
+  const auto r = trustrank(b.build(), {0});
+  EXPECT_GT(r.scores[0], r.scores[2]);
+  EXPECT_GT(r.scores[1], r.scores[2]);
+}
+
+TEST(TrustRank, MultipleSeedsShareTeleport) {
+  const auto g = graph::cycle(6);
+  const auto r = trustrank(g, {0, 3});
+  EXPECT_NEAR(r.scores[0], r.scores[3], 1e-9);
+  EXPECT_NEAR(r.scores[1], r.scores[4], 1e-9);
+}
+
+TEST(TrustRank, RejectsEmptyOrBadSeeds) {
+  const auto g = graph::cycle(3);
+  EXPECT_THROW(trustrank(g, {}), Error);
+  EXPECT_THROW(trustrank(g, {7}), Error);
+}
+
+TEST(TrustRank, ScoresFormDistribution) {
+  Pcg32 rng(63);
+  const auto g = graph::erdos_renyi(80, 0.06, rng);
+  const auto r = trustrank(g, {0, 1, 2});
+  f64 sum = 0.0;
+  for (const f64 v : r.scores) {
+    EXPECT_GE(v, 0.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace srsr::rank

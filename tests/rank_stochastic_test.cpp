@@ -1,0 +1,148 @@
+// Tests for StochasticMatrix (rank/stochastic.hpp).
+#include "rank/stochastic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "graph/webgen.hpp"
+#include "util/rng.hpp"
+
+namespace srsr::rank {
+namespace {
+
+StochasticMatrix two_by_two() {
+  // Row 0: (0 -> 1, w=1); Row 1: (1 -> 0, w=0.3), (1 -> 1, w=0.7)
+  return StochasticMatrix({0, 1, 3}, {1, 0, 1}, {1.0, 0.3, 0.7});
+}
+
+TEST(StochasticMatrix, BasicAccessors) {
+  const auto m = two_by_two();
+  EXPECT_EQ(m.num_rows(), 2u);
+  EXPECT_EQ(m.num_entries(), 3u);
+  EXPECT_DOUBLE_EQ(m.weight(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(m.weight(1, 0), 0.3);
+  EXPECT_DOUBLE_EQ(m.weight(1, 1), 0.7);
+  EXPECT_DOUBLE_EQ(m.weight(0, 0), 0.0);  // absent entry
+}
+
+TEST(StochasticMatrix, RowSums) {
+  const auto m = two_by_two();
+  EXPECT_NEAR(m.row_sum(0), 1.0, 1e-12);
+  EXPECT_NEAR(m.row_sum(1), 1.0, 1e-12);
+}
+
+TEST(StochasticMatrix, ValidationRejectsSuperStochasticRows) {
+  EXPECT_THROW(StochasticMatrix({0, 2}, {0, 1}, {0.9, 0.9}), Error);
+}
+
+TEST(StochasticMatrix, SubstochasticRowsCarryDeficit) {
+  const StochasticMatrix m({0, 1, 2}, {1, 0}, {0.4, 1.0});
+  const auto deficits = m.row_deficits();
+  EXPECT_NEAR(deficits[0], 0.6, 1e-12);
+  EXPECT_NEAR(deficits[1], 0.0, 1e-12);
+  // Dangling rows have deficit 1.
+  const StochasticMatrix d({0, 0, 1}, {0}, {1.0});
+  EXPECT_NEAR(d.row_deficits()[0], 1.0, 1e-12);
+}
+
+TEST(StochasticMatrix, ValidationRejectsNegativeWeights) {
+  EXPECT_THROW(StochasticMatrix({0, 2}, {0, 0}, {1.5, -0.5}), Error);
+}
+
+TEST(StochasticMatrix, ValidationAllowsDanglingRows) {
+  const StochasticMatrix m({0, 0, 1}, {0}, {1.0});
+  EXPECT_TRUE(m.is_dangling_row(0));
+  EXPECT_FALSE(m.is_dangling_row(1));
+  const auto dangling = m.dangling_rows();
+  ASSERT_EQ(dangling.size(), 1u);
+  EXPECT_EQ(dangling[0], 0u);
+}
+
+TEST(UniformFromGraph, MatchesOutDegrees) {
+  graph::GraphBuilder b(3);
+  b.add_edge(0, 1);
+  b.add_edge(0, 2);
+  b.add_edge(1, 2);
+  const auto m = StochasticMatrix::uniform_from_graph(b.build());
+  EXPECT_DOUBLE_EQ(m.weight(0, 1), 0.5);
+  EXPECT_DOUBLE_EQ(m.weight(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(m.weight(1, 2), 1.0);
+  EXPECT_TRUE(m.is_dangling_row(2));
+}
+
+TEST(FromRows, NormalizesRows) {
+  const auto m = StochasticMatrix::from_rows(
+      2, {{{0, 2.0}, {1, 6.0}}, {{0, 5.0}}});
+  EXPECT_DOUBLE_EQ(m.weight(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(m.weight(0, 1), 0.75);
+  EXPECT_DOUBLE_EQ(m.weight(1, 0), 1.0);
+}
+
+TEST(FromRows, ZeroMassRowBecomesDangling) {
+  const auto m = StochasticMatrix::from_rows(2, {{{1, 0.0}}, {{0, 1.0}}});
+  EXPECT_TRUE(m.is_dangling_row(0));
+}
+
+TEST(FromRows, RejectsOutOfRangeColumns) {
+  EXPECT_THROW(StochasticMatrix::from_rows(1, {{{3, 1.0}}}), Error);
+}
+
+TEST(LeftMultiply, MatchesHandComputation) {
+  const auto m = two_by_two();
+  const std::vector<f64> x{0.4, 0.6};
+  std::vector<f64> y(2, 0.0);
+  m.left_multiply(x, y);
+  // y0 = 0.6 * 0.3; y1 = 0.4 * 1.0 + 0.6 * 0.7
+  EXPECT_NEAR(y[0], 0.18, 1e-12);
+  EXPECT_NEAR(y[1], 0.82, 1e-12);
+}
+
+TEST(LeftMultiply, PreservesMassForStochasticMatrix) {
+  const auto m = two_by_two();
+  const std::vector<f64> x{0.25, 0.75};
+  std::vector<f64> y(2, 0.0);
+  m.left_multiply(x, y);
+  EXPECT_NEAR(y[0] + y[1], 1.0, 1e-12);
+}
+
+TEST(Transpose, FlipsEntries) {
+  const auto t = two_by_two().transpose();
+  EXPECT_DOUBLE_EQ(t.weight(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(t.weight(0, 1), 0.3);
+  EXPECT_DOUBLE_EQ(t.weight(1, 1), 0.7);
+}
+
+TEST(Transpose, DoubleTransposeIsIdentity) {
+  Pcg32 rng(31);
+  const auto g = graph::erdos_renyi(40, 0.15, rng);
+  const auto m = StochasticMatrix::uniform_from_graph(g);
+  const auto tt = m.transpose().transpose();
+  EXPECT_EQ(tt.num_entries(), m.num_entries());
+  for (NodeId r = 0; r < m.num_rows(); ++r) {
+    const auto cs = m.row_cols(r);
+    const auto ws = m.row_weights(r);
+    for (std::size_t i = 0; i < cs.size(); ++i)
+      EXPECT_DOUBLE_EQ(tt.weight(r, cs[i]), ws[i]);
+  }
+}
+
+// Property: uniform matrices from random graphs are row-stochastic on
+// non-dangling rows.
+class StochasticProperty : public ::testing::TestWithParam<u64> {};
+
+TEST_P(StochasticProperty, UniformRowsSumToOne) {
+  Pcg32 rng(GetParam());
+  const auto g = graph::erdos_renyi(80, 0.05, rng);
+  const auto m = StochasticMatrix::uniform_from_graph(g);
+  for (NodeId r = 0; r < m.num_rows(); ++r) {
+    if (m.is_dangling_row(r)) continue;
+    EXPECT_NEAR(m.row_sum(r), 1.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StochasticProperty,
+                         ::testing::Values(1u, 7u, 13u, 19u));
+
+}  // namespace
+}  // namespace srsr::rank

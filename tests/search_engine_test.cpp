@@ -1,0 +1,159 @@
+// Tests for the BM25 + authority search engine (search/engine.hpp).
+#include "search/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/webgen.hpp"
+
+namespace srsr::search {
+namespace {
+
+// Four documents over vocab {0:apple, 1:pie, 2:car, 3:the}.
+//   d0: apple pie
+//   d1: apple apple apple     (apple-heavy)
+//   d2: car the the
+//   d3: the the the the       ("the" appears everywhere-ish)
+InvertedIndex fixture_index() {
+  return InvertedIndex({{0, 1}, {0, 0, 0}, {2, 3, 3}, {3, 3, 3, 3}}, 4);
+}
+
+TEST(SearchEngine, PureRelevanceRanksByBm25) {
+  const auto idx = fixture_index();
+  const SearchEngine engine(idx, {});
+  const auto hits = engine.query({0}, 10);  // "apple"
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].page, 1u);  // tf 3 beats tf 1
+  EXPECT_EQ(hits[1].page, 0u);
+  EXPECT_GT(hits[0].relevance, hits[1].relevance);
+}
+
+TEST(SearchEngine, MultiTermQueryAccumulates) {
+  const auto idx = fixture_index();
+  const SearchEngine engine(idx, {});
+  const auto hits = engine.query({0, 1}, 10);  // "apple pie"
+  ASSERT_GE(hits.size(), 2u);
+  // d0 matches both terms; "pie" is rare (high idf), so d0 wins.
+  EXPECT_EQ(hits[0].page, 0u);
+}
+
+TEST(SearchEngine, RareTermsOutweighCommonOnes) {
+  const auto idx = fixture_index();
+  const SearchEngine engine(idx, {});
+  // "car the": d2 has the rare 'car'; d3 has only the common 'the'.
+  const auto hits = engine.query({2, 3}, 10);
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_EQ(hits[0].page, 2u);
+}
+
+TEST(SearchEngine, NoMatchesEmptyResult) {
+  const auto idx = fixture_index();
+  const SearchEngine engine(idx, {});
+  EXPECT_TRUE(engine.query({}, 10).empty());
+  EXPECT_TRUE(engine.query({0}, 0).empty());
+}
+
+TEST(SearchEngine, KTruncatesResults) {
+  const auto idx = fixture_index();
+  const SearchEngine engine(idx, {});
+  EXPECT_EQ(engine.query({3}, 1).size(), 1u);
+}
+
+TEST(SearchEngine, AuthorityBlendPromotesAuthoritativePages) {
+  const auto idx = fixture_index();
+  // Give d0 overwhelming authority; under a strong blend it overtakes
+  // the more relevant d1 for "apple".
+  EngineConfig strong;
+  strong.authority_weight = 0.9;
+  const SearchEngine engine(idx, {1.0, 0.01, 0.01, 0.01}, strong);
+  const auto hits = engine.query({0}, 10);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].page, 0u);
+  // With the blend off, relevance order returns.
+  EngineConfig off;
+  off.authority_weight = 0.0;
+  const SearchEngine pure(idx, {1.0, 0.01, 0.01, 0.01}, off);
+  EXPECT_EQ(pure.query({0}, 10)[0].page, 1u);
+}
+
+TEST(SearchEngine, AuthorityNeverResurrectsNonMatches) {
+  const auto idx = fixture_index();
+  EngineConfig strong;
+  strong.authority_weight = 0.99;
+  const SearchEngine engine(idx, {0.0, 0.0, 1.0, 0.0}, strong);
+  // d2 has huge authority but does not contain "apple".
+  for (const auto& hit : engine.query({0}, 10)) EXPECT_NE(hit.page, 2u);
+}
+
+TEST(SearchEngine, ValidatesConfiguration) {
+  const auto idx = fixture_index();
+  EngineConfig bad;
+  bad.authority_weight = 1.5;
+  EXPECT_THROW(SearchEngine(idx, {}, bad), Error);
+  EXPECT_THROW(SearchEngine(idx, {1.0}, {}), Error);       // size mismatch
+  EXPECT_THROW(SearchEngine(idx, {1, -1, 1, 1}, {}), Error);  // negative
+}
+
+TEST(ProjectSourceScores, SplitsMassAcrossPages) {
+  // 2 sources: source 0 has pages {0,1}, source 1 has page {2}.
+  const std::vector<f64> source_scores{0.6, 0.4};
+  const std::vector<NodeId> page_source{0, 0, 1};
+  const std::vector<u32> counts{2, 1};
+  const auto page_scores =
+      project_source_scores_to_pages(source_scores, page_source, counts);
+  EXPECT_DOUBLE_EQ(page_scores[0], 0.3);
+  EXPECT_DOUBLE_EQ(page_scores[1], 0.3);
+  EXPECT_DOUBLE_EQ(page_scores[2], 0.4);
+}
+
+TEST(ProjectSourceScores, PreservesTotalMass) {
+  const std::vector<f64> source_scores{0.5, 0.25, 0.25};
+  const std::vector<NodeId> page_source{0, 0, 0, 1, 2, 2};
+  const std::vector<u32> counts{3, 1, 2};
+  const auto page_scores =
+      project_source_scores_to_pages(source_scores, page_source, counts);
+  f64 sum = 0.0;
+  for (const f64 v : page_scores) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(EndToEnd, SpamStuffingWinsPureRelevanceLosesUnderSrsrAuthority) {
+  // The paper's motivation at query level: keyword-stuffed spam matches
+  // everything; a spam-resilient authority blend suppresses it.
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 150;
+  cfg.num_spam_sources = 15;
+  cfg.generate_terms = true;
+  cfg.stuffed_terms = 60;
+  cfg.seed = 99;
+  const auto corpus = graph::generate_web_corpus(cfg);
+  const InvertedIndex idx(corpus.page_terms, corpus.vocab_size);
+
+  // Head-term queries across several topics (the terms spam stuffs).
+  const u32 background = cfg.vocab_size / 20;
+  const u32 topic_span = (cfg.vocab_size - background) / cfg.num_topics;
+  auto spam_in_topk = [&](const SearchEngine& engine) {
+    u32 spam = 0;
+    for (u32 topic = 0; topic < 10; ++topic) {
+      const std::vector<u32> query{background + topic * topic_span};
+      for (const auto& hit : engine.query(query, 10))
+        spam += corpus.source_is_spam[corpus.page_source[hit.page]];
+    }
+    return spam;
+  };
+
+  const SearchEngine pure(idx, {});
+  // Authority = "spam sources have zero authority" (an oracle SRSR
+  // stand-in — the real pipeline is exercised in bench/ext_query_impact).
+  std::vector<f64> authority(corpus.num_pages(), 1.0);
+  for (NodeId p = 0; p < corpus.num_pages(); ++p)
+    if (corpus.source_is_spam[corpus.page_source[p]]) authority[p] = 0.0;
+  EngineConfig blend;
+  blend.authority_weight = 0.6;
+  const SearchEngine defended(idx, std::move(authority), blend);
+
+  EXPECT_GT(spam_in_topk(pure), 0u);  // stuffing pays against pure BM25
+  EXPECT_LT(spam_in_topk(defended), spam_in_topk(pure));
+}
+
+}  // namespace
+}  // namespace srsr::search

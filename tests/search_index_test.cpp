@@ -1,0 +1,130 @@
+// Tests for the inverted index (search/index.hpp).
+#include "search/index.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/webgen.hpp"
+
+namespace srsr::search {
+namespace {
+
+InvertedIndex tiny_index() {
+  // page 0: "a b b"; page 1: "b c"; page 2: "" (empty); page 3: "a a a"
+  // vocab: a=0 b=1 c=2 d=3(unused)
+  return InvertedIndex({{0, 1, 1}, {1, 2}, {}, {0, 0, 0}}, 4);
+}
+
+TEST(InvertedIndex, PostingsAndTermFrequencies) {
+  const auto idx = tiny_index();
+  EXPECT_EQ(idx.num_documents(), 4u);
+  EXPECT_EQ(idx.vocab_size(), 4u);
+  const auto a = idx.postings(0);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_EQ(a[0].page, 0u);
+  EXPECT_EQ(a[0].tf, 1u);
+  EXPECT_EQ(a[1].page, 3u);
+  EXPECT_EQ(a[1].tf, 3u);
+  const auto b = idx.postings(1);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_EQ(b[0].tf, 2u);  // page 0 contains b twice
+}
+
+TEST(InvertedIndex, DocumentFrequencyAndLengths) {
+  const auto idx = tiny_index();
+  EXPECT_EQ(idx.document_frequency(0), 2u);
+  EXPECT_EQ(idx.document_frequency(2), 1u);
+  EXPECT_EQ(idx.document_frequency(3), 0u);
+  EXPECT_EQ(idx.document_length(0), 3u);
+  EXPECT_EQ(idx.document_length(2), 0u);
+  EXPECT_DOUBLE_EQ(idx.average_document_length(), 8.0 / 4.0);
+}
+
+TEST(InvertedIndex, PostingsSortedByPage) {
+  const auto idx = tiny_index();
+  for (u32 t = 0; t < idx.vocab_size(); ++t) {
+    const auto posts = idx.postings(t);
+    for (std::size_t i = 1; i < posts.size(); ++i)
+      EXPECT_LT(posts[i - 1].page, posts[i].page);
+  }
+}
+
+TEST(InvertedIndex, TotalPostingsAccounting) {
+  const auto idx = tiny_index();
+  // Distinct (page, term) pairs: p0:{a,b} p1:{b,c} p3:{a} = 5.
+  EXPECT_EQ(idx.num_postings(), 5u);
+}
+
+TEST(InvertedIndex, RejectsOutOfRangeTerms) {
+  EXPECT_THROW(InvertedIndex({{7}}, 4), Error);
+  const auto idx = tiny_index();
+  EXPECT_THROW(idx.postings(4), Error);
+  EXPECT_THROW(idx.document_length(4), Error);
+}
+
+TEST(InvertedIndex, EmptyCorpus) {
+  const InvertedIndex idx({}, 10);
+  EXPECT_EQ(idx.num_documents(), 0u);
+  EXPECT_EQ(idx.num_postings(), 0u);
+}
+
+TEST(WebGenTerms, DisabledByDefault) {
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 30;
+  const auto corpus = graph::generate_web_corpus(cfg);
+  EXPECT_TRUE(corpus.page_terms.empty());
+  EXPECT_EQ(corpus.vocab_size, 0u);
+}
+
+TEST(WebGenTerms, EveryPageGetsTermsInVocabulary) {
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 60;
+  cfg.num_spam_sources = 4;
+  cfg.generate_terms = true;
+  cfg.seed = 55;
+  const auto corpus = graph::generate_web_corpus(cfg);
+  ASSERT_EQ(corpus.page_terms.size(), corpus.num_pages());
+  ASSERT_EQ(corpus.source_topic.size(), corpus.num_sources());
+  EXPECT_EQ(corpus.vocab_size, cfg.vocab_size);
+  for (const auto& terms : corpus.page_terms) {
+    EXPECT_GE(terms.size(), 3u);
+    for (const u32 t : terms) EXPECT_LT(t, cfg.vocab_size);
+  }
+  for (const u32 t : corpus.source_topic) EXPECT_LT(t, cfg.num_topics);
+}
+
+TEST(WebGenTerms, SpamPagesAreStuffed) {
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 100;
+  cfg.num_spam_sources = 10;
+  cfg.generate_terms = true;
+  cfg.stuffed_terms = 40;
+  cfg.seed = 56;
+  const auto corpus = graph::generate_web_corpus(cfg);
+  f64 spam_len = 0.0, legit_len = 0.0;
+  u64 spam_n = 0, legit_n = 0;
+  for (NodeId p = 0; p < corpus.num_pages(); ++p) {
+    if (corpus.source_is_spam[corpus.page_source[p]]) {
+      spam_len += static_cast<f64>(corpus.page_terms[p].size());
+      ++spam_n;
+    } else {
+      legit_len += static_cast<f64>(corpus.page_terms[p].size());
+      ++legit_n;
+    }
+  }
+  EXPECT_GT(spam_len / static_cast<f64>(spam_n),
+            legit_len / static_cast<f64>(legit_n) + 0.8 * cfg.stuffed_terms);
+}
+
+TEST(WebGenTerms, IndexBuildsOverGeneratedCorpus) {
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 80;
+  cfg.generate_terms = true;
+  cfg.seed = 57;
+  const auto corpus = graph::generate_web_corpus(cfg);
+  const InvertedIndex idx(corpus.page_terms, corpus.vocab_size);
+  EXPECT_EQ(idx.num_documents(), corpus.num_pages());
+  EXPECT_GT(idx.num_postings(), corpus.num_pages());  // > 1 term/page
+}
+
+}  // namespace
+}  // namespace srsr::search

@@ -1,0 +1,259 @@
+// Tests for the attack injectors (spam/attacks.hpp).
+#include "spam/attacks.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/srsr.hpp"
+
+namespace srsr::spam {
+namespace {
+
+graph::WebCorpus fixture_corpus(u64 seed = 404) {
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 60;
+  cfg.num_spam_sources = 4;
+  cfg.seed = seed;
+  return graph::generate_web_corpus(cfg);
+}
+
+void expect_consistent(const graph::WebCorpus& c) {
+  EXPECT_EQ(c.page_source.size(), c.pages.num_nodes());
+  EXPECT_EQ(c.source_page_count.size(), c.num_sources());
+  u64 total = 0;
+  for (const u32 n : c.source_page_count) total += n;
+  EXPECT_EQ(total, c.num_pages());
+  for (const NodeId s : c.page_source) EXPECT_LT(s, c.num_sources());
+}
+
+TEST(IntraSourceFarm, AddsPagesLinkingToTarget) {
+  const auto corpus = fixture_corpus();
+  const NodeId target = corpus.source_first_page[5];
+  const auto attacked = add_intra_source_farm(corpus, target, 10);
+  expect_consistent(attacked);
+  EXPECT_EQ(attacked.num_pages(), corpus.num_pages() + 10);
+  EXPECT_EQ(attacked.num_sources(), corpus.num_sources());
+  for (NodeId p = corpus.num_pages(); p < attacked.num_pages(); ++p) {
+    EXPECT_EQ(attacked.page_source[p], corpus.page_source[target]);
+    EXPECT_TRUE(attacked.pages.has_edge(p, target));
+    EXPECT_EQ(attacked.pages.out_degree(p), 1u);
+  }
+}
+
+TEST(IntraSourceFarm, OriginalEdgesUntouched) {
+  const auto corpus = fixture_corpus();
+  const NodeId target = corpus.source_first_page[5];
+  const auto attacked = add_intra_source_farm(corpus, target, 5);
+  for (NodeId p = 0; p < corpus.num_pages(); ++p) {
+    ASSERT_EQ(attacked.pages.out_degree(p), corpus.pages.out_degree(p));
+  }
+}
+
+TEST(IntraSourceFarm, OriginalCorpusNotMutated) {
+  const auto corpus = fixture_corpus();
+  const NodeId before_pages = corpus.num_pages();
+  const auto attacked =
+      add_intra_source_farm(corpus, corpus.source_first_page[3], 7);
+  EXPECT_EQ(corpus.num_pages(), before_pages);
+  EXPECT_EQ(attacked.num_pages(), before_pages + 7);
+}
+
+TEST(IntraSourceFarm, ZeroPagesIsIdentityOnEdges) {
+  const auto corpus = fixture_corpus();
+  const auto attacked =
+      add_intra_source_farm(corpus, corpus.source_first_page[3], 0);
+  EXPECT_EQ(attacked.pages, corpus.pages);
+}
+
+TEST(CrossSourceFarm, PagesLandInColludingSource) {
+  const auto corpus = fixture_corpus();
+  const NodeId target = corpus.source_first_page[5];
+  const NodeId colluder = 9;
+  ASSERT_NE(corpus.page_source[target], colluder);
+  const auto attacked = add_cross_source_farm(corpus, target, colluder, 8);
+  expect_consistent(attacked);
+  EXPECT_EQ(attacked.source_page_count[colluder],
+            corpus.source_page_count[colluder] + 8);
+  for (NodeId p = corpus.num_pages(); p < attacked.num_pages(); ++p) {
+    EXPECT_EQ(attacked.page_source[p], colluder);
+    EXPECT_TRUE(attacked.pages.has_edge(p, target));
+  }
+}
+
+TEST(CrossSourceFarm, RejectsSameSourceColluder) {
+  const auto corpus = fixture_corpus();
+  const NodeId target = corpus.source_first_page[5];
+  EXPECT_THROW(add_cross_source_farm(corpus, target, 5, 3), Error);
+}
+
+TEST(CollusionNetwork, CreatesFreshSources) {
+  const auto corpus = fixture_corpus();
+  const NodeId target = corpus.source_first_page[7];
+  const auto attacked = add_colluding_sources(corpus, target, 5, 3);
+  expect_consistent(attacked);
+  EXPECT_EQ(attacked.num_sources(), corpus.num_sources() + 5);
+  EXPECT_EQ(attacked.num_pages(), corpus.num_pages() + 15);
+  // Every colluding page links to the target; sources are self-linked.
+  for (u32 s = corpus.num_sources(); s < attacked.num_sources(); ++s) {
+    EXPECT_EQ(attacked.source_page_count[s], 3u);
+    EXPECT_FALSE(attacked.source_is_spam[s]);  // attacker pages unlabeled
+  }
+  for (NodeId p = corpus.num_pages(); p < attacked.num_pages(); ++p)
+    EXPECT_TRUE(attacked.pages.has_edge(p, target));
+}
+
+TEST(CollusionNetwork, SinglePageSourcesGetSelfLoop) {
+  const auto corpus = fixture_corpus();
+  const NodeId target = corpus.source_first_page[7];
+  const auto attacked = add_colluding_sources(corpus, target, 2, 1);
+  for (NodeId p = corpus.num_pages(); p < attacked.num_pages(); ++p)
+    EXPECT_TRUE(attacked.pages.has_edge(p, p));
+}
+
+TEST(LinkExchange, AllPairsTradeLinks) {
+  const auto corpus = fixture_corpus();
+  const std::vector<NodeId> ring{3, 8, 15};
+  Pcg32 rng(11);
+  const auto attacked = add_link_exchange(corpus, ring, rng);
+  expect_consistent(attacked);
+  EXPECT_EQ(attacked.num_pages(), corpus.num_pages());
+  // Each source's front page gains in-links from every partner source.
+  for (const NodeId si : ring) {
+    for (const NodeId sj : ring) {
+      if (si == sj) continue;
+      const NodeId front = corpus.source_first_page[sj];
+      bool found = false;
+      for (NodeId p = 0; p < corpus.num_pages() && !found; ++p)
+        found = corpus.page_source[p] == si &&
+                attacked.pages.has_edge(p, front) &&
+                !corpus.pages.has_edge(p, front);
+      // The added link may coincide with an existing organic one; at
+      // minimum the edge must exist post-attack.
+      bool exists = false;
+      for (NodeId p = 0; p < corpus.num_pages() && !exists; ++p)
+        exists = corpus.page_source[p] == si &&
+                 attacked.pages.has_edge(p, front);
+      EXPECT_TRUE(exists) << si << " -> " << sj;
+    }
+  }
+}
+
+TEST(LinkExchange, RaisesMembersSourceRank) {
+  // Pooling resources must lift all members of the ring under the
+  // baseline source ranking.
+  const auto corpus = fixture_corpus();
+  Pcg32 rng(12);
+  // Pick three bottom-half sources.
+  const std::vector<NodeId> ring{40, 45, 50};
+  const auto attacked = add_link_exchange(corpus, ring, rng);
+  const core::SourceMap before_map(corpus.page_source);
+  const core::SourceMap after_map(attacked.page_source);
+  const core::SpamResilientSourceRank before(corpus.pages, before_map);
+  const core::SpamResilientSourceRank after(attacked.pages, after_map);
+  const auto b = before.rank_baseline();
+  const auto a = after.rank_baseline();
+  u32 raised = 0;
+  for (const NodeId s : ring) raised += (a.scores[s] > b.scores[s]);
+  EXPECT_GE(raised, 2u);  // at least most of the ring profits
+}
+
+TEST(LinkExchange, RejectsDegenerateRings) {
+  const auto corpus = fixture_corpus();
+  Pcg32 rng(13);
+  EXPECT_THROW(add_link_exchange(corpus, {3}, rng), Error);
+  EXPECT_THROW(add_link_exchange(corpus, {3, corpus.num_sources()}, rng),
+               Error);
+}
+
+TEST(Hijack, InsertsLinksFromVictims) {
+  const auto corpus = fixture_corpus();
+  const NodeId target = corpus.source_first_page[11];
+  const std::vector<NodeId> victims{1, 5, 9};
+  const auto attacked = add_hijack_links(corpus, victims, target);
+  expect_consistent(attacked);
+  EXPECT_EQ(attacked.num_pages(), corpus.num_pages());  // no new pages
+  for (const NodeId v : victims) EXPECT_TRUE(attacked.pages.has_edge(v, target));
+}
+
+TEST(Hijack, RejectsOutOfRangeVictim) {
+  const auto corpus = fixture_corpus();
+  EXPECT_THROW(
+      add_hijack_links(corpus, {corpus.num_pages()}, 0), Error);
+}
+
+TEST(Honeypot, BuildsLuredSourceForwardingToTarget) {
+  const auto corpus = fixture_corpus();
+  const NodeId target = corpus.source_first_page[13];
+  Pcg32 rng(5);
+  const auto attacked = add_honeypot(corpus, target, 4, 10, rng);
+  expect_consistent(attacked);
+  EXPECT_EQ(attacked.num_sources(), corpus.num_sources() + 1);
+  const NodeId front = corpus.num_pages();  // honeypot's first page
+  EXPECT_TRUE(attacked.pages.has_edge(front, target));
+  // Lured in-links exist from pre-existing pages.
+  u64 lured = 0;
+  for (NodeId p = 0; p < corpus.num_pages(); ++p)
+    lured += attacked.pages.has_edge(p, front);
+  EXPECT_GE(lured, 1u);
+  // Lures never come from labeled spam sources.
+  for (NodeId p = 0; p < corpus.num_pages(); ++p)
+    if (attacked.pages.has_edge(p, front))
+      EXPECT_FALSE(corpus.source_is_spam[corpus.page_source[p]]);
+}
+
+TEST(SelectAttackTargets, RespectsConstraints) {
+  const auto corpus = fixture_corpus();
+  const u32 ns = corpus.num_sources();
+  // Synthetic scores: source id = rank (higher id = higher score).
+  std::vector<f64> scores(ns);
+  for (u32 s = 0; s < ns; ++s) scores[s] = static_cast<f64>(s);
+  std::vector<f64> kappa(ns, 0.0);
+  kappa[2] = 1.0;  // throttled: ineligible
+  Pcg32 rng(6);
+  const auto targets = select_attack_targets(corpus, scores, kappa, 5, rng);
+  EXPECT_EQ(targets.size(), 5u);
+  std::set<NodeId> unique(targets.begin(), targets.end());
+  EXPECT_EQ(unique.size(), 5u);
+  for (const NodeId s : targets) {
+    EXPECT_LT(s, ns / 2);  // bottom 50% by construction
+    EXPECT_NE(s, 2u);
+    EXPECT_FALSE(corpus.source_is_spam[s]);
+  }
+}
+
+TEST(SelectAttackTargets, ThrowsWhenNotEnoughEligible) {
+  const auto corpus = fixture_corpus();
+  const u32 ns = corpus.num_sources();
+  std::vector<f64> scores(ns, 1.0);
+  std::vector<f64> kappa(ns, 1.0);  // everything throttled
+  Pcg32 rng(7);
+  EXPECT_THROW(select_attack_targets(corpus, scores, kappa, 1, rng), Error);
+}
+
+TEST(RandomPageOf, ReturnsPageOfRequestedSource) {
+  const auto corpus = fixture_corpus();
+  Pcg32 rng(8);
+  for (int i = 0; i < 50; ++i) {
+    const NodeId s = rng.next_below(corpus.num_sources());
+    const NodeId p = random_page_of(corpus, s, rng);
+    EXPECT_EQ(corpus.page_source[p], s);
+  }
+}
+
+TEST(Attacks, ComposeSequentially) {
+  // Case-style composition: farm then hijack then honeypot, side tables
+  // stay consistent throughout.
+  const auto corpus = fixture_corpus();
+  const NodeId target = corpus.source_first_page[20];
+  Pcg32 rng(9);
+  auto attacked = add_intra_source_farm(corpus, target, 10);
+  attacked = add_hijack_links(attacked, {0, 1}, target);
+  attacked = add_honeypot(attacked, target, 3, 5, rng);
+  expect_consistent(attacked);
+  EXPECT_EQ(attacked.num_pages(), corpus.num_pages() + 13);
+  EXPECT_EQ(attacked.num_sources(), corpus.num_sources() + 1);
+}
+
+}  // namespace
+}  // namespace srsr::spam

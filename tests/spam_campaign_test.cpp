@@ -1,0 +1,118 @@
+// Tests for composite spam campaigns (spam/campaign.hpp).
+#include "spam/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+namespace srsr::spam {
+namespace {
+
+graph::WebCorpus fixture() {
+  graph::WebGenConfig cfg;
+  cfg.num_sources = 80;
+  cfg.num_spam_sources = 4;
+  cfg.seed = 808;
+  return graph::generate_web_corpus(cfg);
+}
+
+TEST(Campaign, EmptySpecIsNoop) {
+  const auto corpus = fixture();
+  Pcg32 rng(1);
+  const auto out = apply_campaign(corpus, 0, CampaignSpec{}, rng);
+  EXPECT_EQ(out.corpus.pages, corpus.pages);
+  EXPECT_EQ(out.receipt.pages_added, 0u);
+  EXPECT_EQ(out.receipt.sources_added, 0u);
+  EXPECT_EQ(out.receipt.links_injected, 0u);
+}
+
+TEST(Campaign, ReceiptAccountsForEveryVector) {
+  const auto corpus = fixture();
+  const NodeId target = corpus.source_first_page[10];
+  CampaignSpec spec;
+  spec.intra_farm_pages = 5;
+  spec.cross_farm_pages = 7;
+  spec.colluding_source = 20;
+  spec.colluding_sources = 3;
+  spec.pages_per_colluding_source = 2;
+  spec.hijacked_links = 4;
+  spec.honeypot_pages = 2;
+  spec.honeypot_lures = 6;
+  Pcg32 rng(2);
+  const auto out = apply_campaign(corpus, target, spec, rng);
+  EXPECT_EQ(out.receipt.pages_added, 5u + 7u + 6u + 2u);
+  EXPECT_EQ(out.receipt.sources_added, 3u + 1u);  // colluders + honeypot
+  EXPECT_EQ(out.receipt.links_injected, 4u + 6u);
+  EXPECT_EQ(out.corpus.num_pages(), corpus.num_pages() + 20);
+  EXPECT_EQ(out.corpus.num_sources(), corpus.num_sources() + 4);
+}
+
+TEST(Campaign, CrossFarmIgnoredWithoutColludingSource) {
+  const auto corpus = fixture();
+  CampaignSpec spec;
+  spec.cross_farm_pages = 10;  // colluding_source left invalid
+  Pcg32 rng(3);
+  const auto out = apply_campaign(corpus, 0, spec, rng);
+  EXPECT_EQ(out.receipt.pages_added, 0u);
+}
+
+TEST(Campaign, HijacksAvoidSpamAndTargetSources) {
+  const auto corpus = fixture();
+  const NodeId target = corpus.source_first_page[10];
+  CampaignSpec spec;
+  spec.hijacked_links = 30;
+  Pcg32 rng(4);
+  const auto out = apply_campaign(corpus, target, spec, rng);
+  // Every new in-link to the target from an original page must come
+  // from a non-spam source other than the target's own.
+  u32 new_links = 0;
+  for (NodeId p = 0; p < corpus.num_pages(); ++p) {
+    if (!out.corpus.pages.has_edge(p, target)) continue;
+    if (corpus.pages.has_edge(p, target)) continue;
+    ++new_links;
+    EXPECT_FALSE(corpus.source_is_spam[corpus.page_source[p]]);
+    EXPECT_NE(corpus.page_source[p], corpus.page_source[target]);
+  }
+  // Hijacks target distinct random pages; duplicates collapse, so the
+  // count is at most 30 but must be substantial.
+  EXPECT_GE(new_links, 25u);
+  EXPECT_LE(new_links, 30u);
+}
+
+TEST(Campaign, DeterministicInSeed) {
+  const auto corpus = fixture();
+  CampaignSpec spec;
+  spec.hijacked_links = 10;
+  spec.honeypot_pages = 3;
+  spec.honeypot_lures = 5;
+  Pcg32 a(7), b(7);
+  const auto out_a = apply_campaign(corpus, 0, spec, a);
+  const auto out_b = apply_campaign(corpus, 0, spec, b);
+  EXPECT_EQ(out_a.corpus.pages, out_b.corpus.pages);
+}
+
+TEST(Campaign, TargetOutOfRangeThrows) {
+  const auto corpus = fixture();
+  Pcg32 rng(8);
+  EXPECT_THROW(
+      apply_campaign(corpus, corpus.num_pages(), CampaignSpec{}, rng),
+      Error);
+}
+
+TEST(Campaign, CombinedAttackBeatsSingleVectorOnPageRank) {
+  // Sec. 2's claim that combinations are "more effective": the combined
+  // campaign's in-link count to the target strictly dominates each
+  // single vector's.
+  const auto corpus = fixture();
+  const NodeId target = corpus.source_first_page[15];
+  CampaignSpec combo;
+  combo.intra_farm_pages = 20;
+  combo.hijacked_links = 10;
+  combo.colluding_sources = 5;
+  Pcg32 rng(9);
+  const auto out = apply_campaign(corpus, target, combo, rng);
+  const auto in_before = corpus.pages.in_degrees()[target];
+  const auto in_after = out.corpus.pages.in_degrees()[target];
+  EXPECT_GE(in_after, in_before + 20 + 5);  // farms + colluders at least
+}
+
+}  // namespace
+}  // namespace srsr::spam

@@ -1,0 +1,243 @@
+// Tests for the bit-level codecs (util/bitio.hpp) that back the
+// BV-style compressed graph.
+#include "util/bitio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace srsr {
+namespace {
+
+TEST(ZigZag, RoundTripsSmallValues) {
+  for (i64 v = -1000; v <= 1000; ++v)
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+}
+
+TEST(ZigZag, SmallMagnitudesStaySmall) {
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+  EXPECT_EQ(zigzag_encode(-2), 3u);
+  EXPECT_EQ(zigzag_encode(2), 4u);
+}
+
+TEST(BitWriter, WriteBitsRoundTrip) {
+  BitWriter w;
+  w.write_bits(0b1011, 4);
+  w.write_bits(0xFF, 8);
+  w.write_bits(0, 3);
+  w.write_bits(1, 1);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(4), 0b1011u);
+  EXPECT_EQ(r.read_bits(8), 0xFFu);
+  EXPECT_EQ(r.read_bits(3), 0u);
+  EXPECT_EQ(r.read_bits(1), 1u);
+}
+
+TEST(BitWriter, ZeroBitWriteIsNoop) {
+  BitWriter w;
+  w.write_bits(123, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+  w.write_bits(1, 1);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(1), 1u);
+}
+
+TEST(BitWriter, SixtyFourBitValues) {
+  BitWriter w;
+  const u64 v = 0xDEADBEEFCAFEBABEULL;
+  w.write_bits(v, 64);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_bits(64), v);
+}
+
+TEST(BitReader, ReadPastEndThrows) {
+  BitWriter w;
+  w.write_bits(1, 1);
+  const auto bytes = w.finish();  // one padded byte
+  BitReader r(bytes);
+  r.read_bits(8);
+  EXPECT_THROW(r.read_bits(1), Error);
+}
+
+TEST(Unary, RoundTripsSmallValues) {
+  BitWriter w;
+  for (u64 v = 0; v < 100; ++v) w.write_unary(v);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (u64 v = 0; v < 100; ++v) EXPECT_EQ(r.read_unary(), v);
+}
+
+TEST(Unary, LargeValue) {
+  BitWriter w;
+  w.write_unary(1000);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.read_unary(), 1000u);
+}
+
+TEST(Gamma, RoundTripsRange) {
+  BitWriter w;
+  for (u64 v = 0; v < 2000; ++v) w.write_gamma(v);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (u64 v = 0; v < 2000; ++v) EXPECT_EQ(r.read_gamma(), v);
+}
+
+TEST(Gamma, KnownCodeLengths) {
+  // gamma(v) codes v+1 with 2*floor(log2(v+1))+1 bits.
+  auto gamma_bits = [](u64 v) {
+    BitWriter w;
+    w.write_gamma(v);
+    return w.bit_count();
+  };
+  EXPECT_EQ(gamma_bits(0), 1u);   // "1"
+  EXPECT_EQ(gamma_bits(1), 3u);   // "010"
+  EXPECT_EQ(gamma_bits(2), 3u);   // "011"
+  EXPECT_EQ(gamma_bits(3), 5u);
+  EXPECT_EQ(gamma_bits(7), 7u);
+}
+
+TEST(Delta, RoundTripsRange) {
+  BitWriter w;
+  for (u64 v = 0; v < 2000; ++v) w.write_delta(v);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (u64 v = 0; v < 2000; ++v) EXPECT_EQ(r.read_delta(), v);
+}
+
+TEST(Delta, ShorterThanGammaForLargeValues) {
+  BitWriter wg, wd;
+  wg.write_gamma(1u << 20);
+  wd.write_delta(1u << 20);
+  EXPECT_LT(wd.bit_count(), wg.bit_count());
+}
+
+TEST(Zeta, RoundTripsRangeForAllK) {
+  for (u32 k = 1; k <= 8; ++k) {
+    BitWriter w;
+    for (u64 v = 0; v < 3000; ++v) w.write_zeta(v, k);
+    const auto bytes = w.finish();
+    BitReader r(bytes);
+    for (u64 v = 0; v < 3000; ++v)
+      EXPECT_EQ(r.read_zeta(k), v) << "k=" << k << " v=" << v;
+  }
+}
+
+TEST(Zeta, RoundTripsLargeValues) {
+  BitWriter w;
+  const std::vector<u64> values{1ULL << 20, 1ULL << 31, (1ULL << 32) - 1,
+                                1ULL << 40};
+  for (const u64 v : values) w.write_zeta(v, 3);
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (const u64 v : values) EXPECT_EQ(r.read_zeta(3), v);
+}
+
+TEST(Zeta, RejectsBadK) {
+  BitWriter w;
+  EXPECT_THROW(w.write_zeta(1, 0), Error);
+  EXPECT_THROW(w.write_zeta(1, 17), Error);
+}
+
+TEST(Varint, RoundTripsBoundaries) {
+  const std::vector<u64> values{0,      1,        127,        128,
+                                16383,  16384,    (1ULL << 32) - 1,
+                                1ULL << 62, ~0ULL};
+  std::vector<u8> buf;
+  for (const u64 v : values) varint_encode(buf, v);
+  std::size_t pos = 0;
+  for (const u64 v : values) EXPECT_EQ(varint_decode(buf, pos), v);
+  EXPECT_EQ(pos, buf.size());
+}
+
+TEST(Varint, TruncatedInputThrows) {
+  std::vector<u8> buf;
+  varint_encode(buf, 300);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_THROW(varint_decode(buf, pos), Error);
+}
+
+TEST(MixedCodes, InterleavedStreamsRoundTrip) {
+  Pcg32 rng(55);
+  BitWriter w;
+  std::vector<std::pair<int, u64>> script;
+  for (int i = 0; i < 5000; ++i) {
+    const int code = static_cast<int>(rng.next_below(4));
+    const u64 v = rng.next_below(100000);
+    script.emplace_back(code, v);
+    switch (code) {
+      case 0:
+        w.write_gamma(v);
+        break;
+      case 1:
+        w.write_delta(v);
+        break;
+      case 2:
+        w.write_zeta(v, 3);
+        break;
+      default:
+        w.write_bits(v, 17);
+        break;
+    }
+  }
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (const auto& [code, v] : script) {
+    switch (code) {
+      case 0:
+        EXPECT_EQ(r.read_gamma(), v);
+        break;
+      case 1:
+        EXPECT_EQ(r.read_delta(), v);
+        break;
+      case 2:
+        EXPECT_EQ(r.read_zeta(3), v);
+        break;
+      default:
+        EXPECT_EQ(r.read_bits(17), v & ((1u << 17) - 1));
+        break;
+    }
+  }
+}
+
+// Property sweep: every codec round-trips random 64-bit-ish values.
+class CodecRoundTrip : public ::testing::TestWithParam<u64> {};
+
+TEST_P(CodecRoundTrip, AllCodecsRoundTripRandomValues) {
+  Pcg32 rng(GetParam());
+  BitWriter w;
+  std::vector<u64> values;
+  for (int i = 0; i < 2000; ++i) {
+    // Mix of magnitudes: mostly small (gap-like), occasionally huge.
+    const u32 shift = rng.next_below(40);
+    values.push_back(rng.next_u64() >> (24 + (40 - shift) % 24));
+  }
+  for (const u64 v : values) {
+    w.write_gamma(v);
+    w.write_delta(v);
+    w.write_zeta(v, 2);
+    w.write_zeta(v, 5);
+  }
+  const auto bytes = w.finish();
+  BitReader r(bytes);
+  for (const u64 v : values) {
+    EXPECT_EQ(r.read_gamma(), v);
+    EXPECT_EQ(r.read_delta(), v);
+    EXPECT_EQ(r.read_zeta(2), v);
+    EXPECT_EQ(r.read_zeta(5), v);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CodecRoundTrip,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+}  // namespace
+}  // namespace srsr

@@ -1,0 +1,96 @@
+// Tests for the logger (util/log.hpp) and CSV bench output helper
+// (util/csv.hpp).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/log.hpp"
+
+namespace srsr {
+namespace {
+
+/// Restores the global log level on scope exit (tests share a process).
+struct LogLevelGuard {
+  LogLevel saved = log_level();
+  ~LogLevelGuard() { set_log_level(saved); }
+};
+
+TEST(Log, LevelRoundTrips) {
+  LogLevelGuard guard;
+  for (const LogLevel level : {LogLevel::kDebug, LogLevel::kInfo,
+                               LogLevel::kWarn, LogLevel::kError,
+                               LogLevel::kOff}) {
+    set_log_level(level);
+    EXPECT_EQ(log_level(), level);
+  }
+}
+
+TEST(Log, EmitBelowThresholdIsSilentAndSafe) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // Nothing to assert on stderr portably; the contract is "does not
+  // throw and does not crash" at any level combination.
+  log_debug("a", 1, 2.5);
+  log_info("b");
+  log_warn("c");
+  log_error("d");
+}
+
+TEST(Log, ConcatenatesHeterogeneousArguments) {
+  EXPECT_EQ(detail::concat("x=", 42, ", y=", 1.5), "x=42, y=1.5");
+  EXPECT_EQ(detail::concat(), "");
+}
+
+struct EnvGuard {
+  explicit EnvGuard(const char* name) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old) saved_ = old;
+  }
+  ~EnvGuard() {
+    if (saved_.empty())
+      ::unsetenv(name_);
+    else
+      ::setenv(name_, saved_.c_str(), 1);
+  }
+  const char* name_;
+  std::string saved_;
+};
+
+TEST(Csv, DisabledWithoutEnvVar) {
+  EnvGuard guard("SRSR_BENCH_CSV");
+  ::unsetenv("SRSR_BENCH_CSV");
+  EXPECT_FALSE(csv_output_enabled());
+  TextTable t({"a"});
+  t.add_row({"1"});
+  EXPECT_EQ(maybe_write_csv("should_not_exist", t), "");
+  EXPECT_FALSE(std::filesystem::exists("bench_out/should_not_exist.csv"));
+}
+
+TEST(Csv, EmptyEnvValueCountsAsDisabled) {
+  EnvGuard guard("SRSR_BENCH_CSV");
+  ::setenv("SRSR_BENCH_CSV", "", 1);
+  EXPECT_FALSE(csv_output_enabled());
+}
+
+TEST(Csv, WritesFileWhenEnabled) {
+  EnvGuard guard("SRSR_BENCH_CSV");
+  ::setenv("SRSR_BENCH_CSV", "1", 1);
+  ASSERT_TRUE(csv_output_enabled());
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  const std::string path = maybe_write_csv("csv_unit_test", t);
+  ASSERT_FALSE(path.empty());
+  std::ifstream in(path);
+  std::string header, row;
+  std::getline(in, header);
+  std::getline(in, row);
+  EXPECT_EQ(header, "x,y");
+  EXPECT_EQ(row, "1,2");
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace srsr

@@ -1,0 +1,258 @@
+// Tests for the deterministic RNG substrate (util/rng.hpp).
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace srsr {
+namespace {
+
+TEST(SplitMix64, IsDeterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, DifferentSeedsDiverge) {
+  SplitMix64 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.next() == b.next());
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Pcg32, IsDeterministic) {
+  Pcg32 a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u32(), b.next_u32());
+}
+
+TEST(Pcg32, StreamsAreIndependent) {
+  Pcg32 a(42, 0), b(42, 1);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) equal += (a.next_u32() == b.next_u32());
+  EXPECT_LT(equal, 5);
+}
+
+TEST(Pcg32, NextBelowStaysInRange) {
+  Pcg32 rng(7);
+  for (u32 bound : {1u, 2u, 3u, 10u, 1000u, 1u << 30}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Pcg32, NextBelowOneIsAlwaysZero) {
+  Pcg32 rng(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.next_below(1), 0u);
+}
+
+TEST(Pcg32, NextBelowZeroThrows) {
+  Pcg32 rng(7);
+  EXPECT_THROW(rng.next_below(0), Error);
+}
+
+TEST(Pcg32, NextBelowIsRoughlyUniform) {
+  Pcg32 rng(99);
+  constexpr u32 kBound = 10;
+  constexpr int kDraws = 100000;
+  std::vector<int> counts(kBound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(kBound)];
+  for (const int c : counts) {
+    EXPECT_GT(c, kDraws / kBound * 0.9);
+    EXPECT_LT(c, kDraws / kBound * 1.1);
+  }
+}
+
+TEST(Pcg32, NextRealInUnitInterval) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const f64 v = rng.next_real();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Pcg32, NextRealMeanIsHalf) {
+  Pcg32 rng(5);
+  f64 sum = 0.0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.next_real();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Pcg32, NextRealRangeRespectsBounds) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const f64 v = rng.next_real(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Pcg32, NextBoolProbabilityZeroAndOne) {
+  Pcg32 rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Pcg32, NextBoolFrequencyMatchesP) {
+  Pcg32 rng(11);
+  int hits = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) hits += rng.next_bool(0.3);
+  EXPECT_NEAR(static_cast<f64>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(SampleWithoutReplacement, ProducesDistinctSortedValues) {
+  Pcg32 rng(3);
+  const auto sample = sample_without_replacement(rng, 100, 20);
+  ASSERT_EQ(sample.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  const std::set<u32> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const u32 v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(SampleWithoutReplacement, FullSampleIsPermutationOfRange) {
+  Pcg32 rng(3);
+  const auto sample = sample_without_replacement(rng, 50, 50);
+  ASSERT_EQ(sample.size(), 50u);
+  for (u32 i = 0; i < 50; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(SampleWithoutReplacement, KZeroIsEmpty) {
+  Pcg32 rng(3);
+  EXPECT_TRUE(sample_without_replacement(rng, 10, 0).empty());
+}
+
+TEST(SampleWithoutReplacement, KGreaterThanNThrows) {
+  Pcg32 rng(3);
+  EXPECT_THROW(sample_without_replacement(rng, 5, 6), Error);
+}
+
+TEST(SampleWithoutReplacement, IsApproximatelyUniform) {
+  // Each element of [0,10) should appear in a 5-subset with p = 0.5.
+  Pcg32 rng(17);
+  std::vector<int> counts(10, 0);
+  constexpr int kTrials = 20000;
+  for (int t = 0; t < kTrials; ++t)
+    for (const u32 v : sample_without_replacement(rng, 10, 5)) ++counts[v];
+  for (const int c : counts)
+    EXPECT_NEAR(static_cast<f64>(c) / kTrials, 0.5, 0.02);
+}
+
+TEST(Shuffle, PreservesMultiset) {
+  Pcg32 rng(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  shuffle(rng, v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Shuffle, HandlesEmptyAndSingleton) {
+  Pcg32 rng(23);
+  std::vector<int> empty;
+  shuffle(rng, empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  shuffle(rng, one);
+  EXPECT_EQ(one[0], 42);
+}
+
+TEST(ZipfSampler, ValuesInRange) {
+  ZipfSampler zipf(100, 1.5);
+  Pcg32 rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    const u32 v = zipf.sample(rng);
+    EXPECT_GE(v, 1u);
+    EXPECT_LE(v, 100u);
+  }
+}
+
+TEST(ZipfSampler, RankOneIsMostFrequent) {
+  ZipfSampler zipf(50, 1.2);
+  Pcg32 rng(2);
+  std::vector<int> counts(51, 0);
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[1], counts[2]);
+  EXPECT_GT(counts[2], counts[10]);
+  EXPECT_GT(counts[1], counts[50] * 5);
+}
+
+TEST(ZipfSampler, MatchesTheoreticalHeadProbability) {
+  // For n=2, s=1: P(1) = 1/(1 + 0.5) = 2/3.
+  ZipfSampler zipf(2, 1.0);
+  Pcg32 rng(4);
+  int ones = 0;
+  constexpr int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) ones += (zipf.sample(rng) == 1);
+  EXPECT_NEAR(static_cast<f64>(ones) / kDraws, 2.0 / 3.0, 0.01);
+}
+
+TEST(ZipfSampler, RejectsBadParameters) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), Error);
+  EXPECT_THROW(ZipfSampler(10, 0.0), Error);
+  EXPECT_THROW(ZipfSampler(10, -1.0), Error);
+}
+
+TEST(AliasSampler, MatchesWeights) {
+  const std::vector<f64> weights{1.0, 2.0, 3.0, 4.0};
+  AliasSampler alias(weights);
+  Pcg32 rng(6);
+  std::vector<int> counts(4, 0);
+  constexpr int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) ++counts[alias.sample(rng)];
+  for (int i = 0; i < 4; ++i)
+    EXPECT_NEAR(static_cast<f64>(counts[i]) / kDraws, weights[i] / 10.0, 0.01);
+}
+
+TEST(AliasSampler, ZeroWeightNeverSampled) {
+  AliasSampler alias({0.0, 1.0, 0.0, 1.0});
+  Pcg32 rng(8);
+  for (int i = 0; i < 10000; ++i) {
+    const u32 v = alias.sample(rng);
+    EXPECT_TRUE(v == 1 || v == 3);
+  }
+}
+
+TEST(AliasSampler, SingleElement) {
+  AliasSampler alias({5.0});
+  Pcg32 rng(8);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(alias.sample(rng), 0u);
+}
+
+TEST(AliasSampler, RejectsBadWeights) {
+  EXPECT_THROW(AliasSampler({}), Error);
+  EXPECT_THROW(AliasSampler({0.0, 0.0}), Error);
+  EXPECT_THROW(AliasSampler({1.0, -1.0}), Error);
+}
+
+// Property sweep: bounded draws stay unbiased across bounds.
+class NextBelowUniformity : public ::testing::TestWithParam<u32> {};
+
+TEST_P(NextBelowUniformity, ChiSquareWithinBounds) {
+  const u32 bound = GetParam();
+  Pcg32 rng(777 + bound);
+  constexpr int kDraws = 50000;
+  std::vector<int> counts(bound, 0);
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.next_below(bound)];
+  const f64 expected = static_cast<f64>(kDraws) / bound;
+  f64 chi2 = 0.0;
+  for (const int c : counts) {
+    const f64 d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // Very loose bound: chi2 should be near (bound-1); 3x is far beyond
+  // any plausible statistical fluctuation for a healthy generator.
+  EXPECT_LT(chi2, 3.0 * bound + 30.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bounds, NextBelowUniformity,
+                         ::testing::Values(2u, 3u, 7u, 16u, 100u, 257u));
+
+}  // namespace
+}  // namespace srsr

@@ -1,0 +1,107 @@
+// Tests for summary statistics and vector norms (util/stats.hpp).
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace srsr {
+namespace {
+
+TEST(Summarize, EmptySample) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.sum, 0.0);
+}
+
+TEST(Summarize, SingleValue) {
+  const std::vector<f64> v{3.5};
+  const Summary s = summarize(v);
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.5);
+  EXPECT_DOUBLE_EQ(s.min, 3.5);
+  EXPECT_DOUBLE_EQ(s.max, 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Summarize, KnownSample) {
+  const std::vector<f64> v{1, 2, 3, 4, 5};
+  const Summary s = summarize(v);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.sum, 15.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(Quantile, MedianOfOddSample) {
+  const std::vector<f64> v{5, 1, 3};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 3.0);
+}
+
+TEST(Quantile, InterpolatesBetweenPoints) {
+  const std::vector<f64> v{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(v, 0.5), 5.0);
+}
+
+TEST(Quantile, Extremes) {
+  const std::vector<f64> v{7, 2, 9, 4};
+  EXPECT_DOUBLE_EQ(quantile(v, 0.0), 2.0);
+  EXPECT_DOUBLE_EQ(quantile(v, 1.0), 9.0);
+}
+
+TEST(Quantile, RejectsBadInput) {
+  const std::vector<f64> v{1.0};
+  EXPECT_THROW(quantile({}, 0.5), Error);
+  EXPECT_THROW(quantile(v, -0.1), Error);
+  EXPECT_THROW(quantile(v, 1.1), Error);
+}
+
+TEST(Distances, KnownValues) {
+  const std::vector<f64> a{1, 2, 3};
+  const std::vector<f64> b{2, 2, 1};
+  EXPECT_DOUBLE_EQ(l1_distance(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(l2_distance(a, b), std::sqrt(5.0));
+  EXPECT_DOUBLE_EQ(linf_distance(a, b), 2.0);
+}
+
+TEST(Distances, ZeroForIdenticalVectors) {
+  const std::vector<f64> a{0.1, 0.9, -4.0};
+  EXPECT_DOUBLE_EQ(l1_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(l2_distance(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(linf_distance(a, a), 0.0);
+}
+
+TEST(Distances, SizeMismatchThrows) {
+  const std::vector<f64> a{1, 2};
+  const std::vector<f64> b{1};
+  EXPECT_THROW(l1_distance(a, b), Error);
+  EXPECT_THROW(l2_distance(a, b), Error);
+  EXPECT_THROW(linf_distance(a, b), Error);
+}
+
+TEST(Distances, NormOrdering) {
+  // For any vectors: Linf <= L2 <= L1.
+  const std::vector<f64> a{0.3, -1.2, 4.5, 0.0, 2.2};
+  const std::vector<f64> b{1.3, 0.0, -0.5, 0.7, 2.0};
+  const f64 l1 = l1_distance(a, b);
+  const f64 l2 = l2_distance(a, b);
+  const f64 li = linf_distance(a, b);
+  EXPECT_LE(li, l2 + 1e-15);
+  EXPECT_LE(l2, l1 + 1e-15);
+}
+
+TEST(KahanSum, MatchesExactSumOnHardCase) {
+  // 1 + 1e-16 * 10^8 accumulated naively loses mass; Kahan keeps it.
+  std::vector<f64> v{1.0};
+  for (int i = 0; i < 100000000 / 1000; ++i) v.push_back(1e-16);
+  const f64 kahan = kahan_sum(v);
+  EXPECT_NEAR(kahan, 1.0 + 1e-16 * (v.size() - 1), 1e-18);
+}
+
+TEST(KahanSum, EmptyIsZero) { EXPECT_DOUBLE_EQ(kahan_sum({}), 0.0); }
+
+}  // namespace
+}  // namespace srsr

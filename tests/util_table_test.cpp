@@ -1,0 +1,80 @@
+// Tests for the text-table renderer used by every bench binary.
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace srsr {
+namespace {
+
+TEST(TextTable, RendersHeaderRuleAndRows) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", "0.85"});
+  t.add_row({"kappa", "1.00"});
+  const std::string out = t.render("Params");
+  EXPECT_NE(out.find("Params"), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t({"a", "b"});
+  t.add_row({"xxxxxxx", "1"});
+  t.add_row({"y", "2"});
+  const std::string out = t.render();
+  // Both data rows must have 'b'-column values at the same offset.
+  const auto lines = [&] {
+    std::vector<std::string> ls;
+    std::size_t start = 0;
+    while (start < out.size()) {
+      const auto end = out.find('\n', start);
+      ls.push_back(out.substr(start, end - start));
+      start = end + 1;
+    }
+    return ls;
+  }();
+  ASSERT_GE(lines.size(), 4u);
+  EXPECT_EQ(lines[2].find('1'), lines[3].find('2'));
+}
+
+TEST(TextTable, CellCountMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), Error);
+}
+
+TEST(TextTable, EmptyHeaderThrows) {
+  EXPECT_THROW(TextTable({}), Error);
+}
+
+TEST(TextTable, NumericFormatters) {
+  EXPECT_EQ(TextTable::num(12554332), "12,554,332");
+  EXPECT_EQ(TextTable::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::pct(0.235, 1), "23.5%");
+  EXPECT_EQ(TextTable::sci(0.000123, 2), "1.23e-04");
+}
+
+TEST(TextTable, CsvEscapesSpecialCharacters) {
+  TextTable t({"name", "note"});
+  t.add_row({"a,b", "say \"hi\""});
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"say \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(TextTable, CsvHasHeaderAndRows) {
+  TextTable t({"x", "y"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.render_csv(), "x,y\n1,2\n");
+}
+
+TEST(TextTable, RowCount) {
+  TextTable t({"x"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace srsr

@@ -1,0 +1,296 @@
+// srsr — command-line driver for the Spam-Resilient SourceRank library.
+//
+// Subcommands:
+//   generate  --sources N [--spam N] [--seed S] [--terms] --out DIR
+//             Write a synthetic crawl as pages.txt / edges.txt /
+//             labels.txt (+ terms.txt with --terms).
+//   rank      --in DIR [--algo pagerank|sourcerank|srsr] [--top K]
+//             [--seeds FILE] [--alpha A]
+//             Rank a crawl directory and print the top-K sources.
+//   audit     --in DIR --seeds FILE [--topk K]
+//             Spam-proximity audit: print the K most spam-proximate
+//             sources with their throttle assignment.
+//   attack    --in DIR --target-source S --pages N [--cross C]
+//             Inject a link farm and report the rank movement of the
+//             target under PageRank and SRSR.
+//
+// The crawl directory format is the library's text interchange:
+//   pages.txt   "<page-id> <url>" per line
+//   edges.txt   "<src> <dst>" per line
+//   labels.txt  one spam host per line (optional)
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/srsr.hpp"
+#include "graph/io.hpp"
+#include "graph/webgen.hpp"
+#include "metrics/ranking.hpp"
+#include "rank/pagerank.hpp"
+#include "spam/attacks.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace srsr;
+
+/// Minimal --flag/value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string key = argv[i];
+      check(starts_with(key, "--"), "unexpected argument '" + key + "'");
+      key = key.substr(2);
+      if (i + 1 < argc && !starts_with(argv[i + 1], "--")) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "";  // boolean flag
+      }
+    }
+  }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::string require(const std::string& key) const {
+    check(has(key), "missing required option --" + key);
+    return values_.at(key);
+  }
+
+  u64 get_u64(const std::string& key, u64 fallback) const {
+    return has(key) ? parse_u64(values_.at(key)) : fallback;
+  }
+
+  f64 get_f64(const std::string& key, f64 fallback) const {
+    return has(key) ? std::stod(values_.at(key)) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Loads a crawl directory into a WebCorpus (+ blocklisted source ids).
+struct LoadedCrawl {
+  graph::WebCorpus corpus;
+  std::vector<NodeId> spam_seeds;
+};
+
+LoadedCrawl load_crawl(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::ifstream pages(fs::path(dir) / "pages.txt");
+  check(pages.good(), "cannot open " + dir + "/pages.txt");
+  std::ifstream edges(fs::path(dir) / "edges.txt");
+  check(edges.good(), "cannot open " + dir + "/edges.txt");
+  LoadedCrawl out{graph::read_url_corpus(pages, edges), {}};
+  std::ifstream labels(fs::path(dir) / "labels.txt");
+  if (labels.good())
+    out.spam_seeds = graph::match_hosts(out.corpus, labels);
+  return out;
+}
+
+int cmd_generate(const Args& args) {
+  graph::WebGenConfig cfg;
+  cfg.num_sources = static_cast<u32>(args.get_u64("sources", 1000));
+  cfg.num_spam_sources = static_cast<u32>(args.get_u64("spam", cfg.num_sources / 50));
+  cfg.seed = args.get_u64("seed", 42);
+  cfg.generate_terms = args.has("terms");
+  const auto corpus = graph::generate_web_corpus(cfg);
+
+  namespace fs = std::filesystem;
+  const fs::path dir = args.require("out");
+  fs::create_directories(dir);
+  {
+    std::ofstream pages(dir / "pages.txt");
+    for (NodeId p = 0; p < corpus.num_pages(); ++p)
+      pages << p << " http://" << corpus.source_hosts[corpus.page_source[p]]
+            << "/page" << p << '\n';
+  }
+  graph::write_edge_list_file((dir / "edges.txt").string(), corpus.pages);
+  {
+    std::ofstream labels(dir / "labels.txt");
+    for (const NodeId s : corpus.spam_sources())
+      labels << corpus.source_hosts[s] << '\n';
+  }
+  if (cfg.generate_terms) {
+    std::ofstream terms(dir / "terms.txt");
+    for (NodeId p = 0; p < corpus.num_pages(); ++p) {
+      terms << p;
+      for (const u32 t : corpus.page_terms[p]) terms << ' ' << t;
+      terms << '\n';
+    }
+  }
+  std::cout << "wrote " << corpus.num_pages() << " pages / "
+            << corpus.pages.num_edges() << " links / "
+            << corpus.num_sources() << " hosts ("
+            << corpus.spam_sources().size() << " labeled spam) to "
+            << dir.string() << '\n';
+  return 0;
+}
+
+int cmd_rank(const Args& args) {
+  const auto crawl = load_crawl(args.require("in"));
+  const auto& corpus = crawl.corpus;
+  const std::string algo = args.get("algo", "srsr");
+  const u32 top = static_cast<u32>(args.get_u64("top", 10));
+  const f64 alpha = args.get_f64("alpha", 0.85);
+
+  TextTable t({"#", "Host", "Score"});
+  std::vector<f64> scores;
+  std::vector<std::string> names;
+  if (algo == "pagerank") {
+    rank::PageRankConfig cfg;
+    cfg.alpha = alpha;
+    scores = rank::pagerank(corpus.pages, cfg).scores;
+    for (NodeId p = 0; p < corpus.num_pages(); ++p)
+      names.push_back(corpus.source_hosts[corpus.page_source[p]] + "/page" +
+                      std::to_string(p));
+  } else if (algo == "sourcerank" || algo == "srsr") {
+    const core::SourceMap map(corpus.page_source);
+    core::SrsrConfig cfg;
+    cfg.alpha = alpha;
+    cfg.throttle_mode = core::ThrottleMode::kTeleportDiscard;
+    const core::SpamResilientSourceRank model(corpus.pages, map, cfg);
+    if (algo == "srsr" && !crawl.spam_seeds.empty()) {
+      const u32 top_k = static_cast<u32>(
+          args.get_u64("topk", 2 * crawl.spam_seeds.size()));
+      scores = model.rank_with_spam_seeds(crawl.spam_seeds, top_k)
+                   .ranking.scores;
+    } else {
+      scores = model.rank_baseline().scores;
+    }
+    names = corpus.source_hosts;
+  } else {
+    std::cerr << "unknown --algo '" << algo << "'\n";
+    return 2;
+  }
+
+  const auto ranks = metrics::ranks_by_score(scores);
+  std::vector<std::pair<u32, NodeId>> order;
+  for (NodeId i = 0; i < scores.size(); ++i) order.emplace_back(ranks[i], i);
+  std::sort(order.begin(), order.end());
+  for (u32 i = 0; i < top && i < order.size(); ++i) {
+    const NodeId id = order[i].second;
+    t.add_row({std::to_string(i + 1), names[id],
+               TextTable::sci(scores[id], 3)});
+  }
+  std::cout << t.render("Top " + std::to_string(top) + " by " + algo);
+  return 0;
+}
+
+int cmd_audit(const Args& args) {
+  const auto crawl = load_crawl(args.require("in"));
+  const auto& corpus = crawl.corpus;
+  check(!crawl.spam_seeds.empty(),
+        "audit needs labels.txt with at least one known host");
+  const u32 top_k =
+      static_cast<u32>(args.get_u64("topk", 2 * crawl.spam_seeds.size()));
+
+  const core::SourceMap map(corpus.page_source);
+  const core::SourceGraph sg(corpus.pages, map);
+  const auto prox = core::spam_proximity(sg.topology(), crawl.spam_seeds);
+  const auto kappa = core::kappa_top_k(prox.scores, top_k);
+
+  std::vector<NodeId> order(corpus.num_sources());
+  for (NodeId s = 0; s < corpus.num_sources(); ++s) order[s] = s;
+  std::sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    return prox.scores[a] > prox.scores[b];
+  });
+  TextTable t({"#", "Host", "Proximity", "Kappa", "Labeled"});
+  std::vector<bool> seeded(corpus.num_sources(), false);
+  for (const NodeId s : crawl.spam_seeds) seeded[s] = true;
+  for (u32 i = 0; i < top_k && i < order.size(); ++i) {
+    const NodeId s = order[i];
+    t.add_row({std::to_string(i + 1), corpus.source_hosts[s],
+               TextTable::sci(prox.scores[s], 3),
+               TextTable::fixed(kappa[s], 1), seeded[s] ? "seed" : ""});
+  }
+  std::cout << t.render("Spam-proximity audit (top " +
+                        std::to_string(top_k) + ")");
+  return 0;
+}
+
+int cmd_attack(const Args& args) {
+  const auto crawl = load_crawl(args.require("in"));
+  const auto& corpus = crawl.corpus;
+  const NodeId target_source =
+      static_cast<NodeId>(args.get_u64("target-source", 0));
+  check(target_source < corpus.num_sources(), "target source out of range");
+  const u32 pages = static_cast<u32>(args.get_u64("pages", 100));
+  const NodeId target_page = corpus.source_first_page[target_source];
+
+  const auto clean_pr = rank::pagerank(corpus.pages);
+  const core::SourceMap map(corpus.page_source);
+  const core::SpamResilientSourceRank model(corpus.pages, map);
+  const auto clean_sr = model.rank_baseline();
+
+  graph::WebCorpus attacked =
+      args.has("cross")
+          ? spam::add_cross_source_farm(
+                corpus, target_page,
+                static_cast<NodeId>(args.get_u64("cross", 0)), pages)
+          : spam::add_intra_source_farm(corpus, target_page, pages);
+  const auto pr2 = rank::pagerank(attacked.pages);
+  const core::SourceMap map2(attacked.page_source);
+  const core::SpamResilientSourceRank model2(attacked.pages, map2);
+  const auto sr2 = model2.rank_baseline();
+
+  TextTable t({"Metric", "Before", "After", "Change"});
+  const f64 prb = metrics::percentile_of(clean_pr.scores, target_page);
+  const f64 pra = metrics::percentile_of(pr2.scores, target_page);
+  const f64 srb = metrics::percentile_of(clean_sr.scores, target_source);
+  const f64 sra = metrics::percentile_of(sr2.scores, target_source);
+  t.add_row({"PageRank percentile (target page)", TextTable::fixed(prb, 1),
+             TextTable::fixed(pra, 1), TextTable::fixed(pra - prb, 1)});
+  t.add_row({"SRSR percentile (target source)", TextTable::fixed(srb, 1),
+             TextTable::fixed(sra, 1), TextTable::fixed(sra - srb, 1)});
+  std::cout << t.render("Link farm: " + std::to_string(pages) +
+                        " pages against " +
+                        corpus.source_hosts[target_source]);
+  return 0;
+}
+
+void usage() {
+  std::cout <<
+      "srsr — Spam-Resilient SourceRank toolkit\n"
+      "usage: srsr_cli <command> [options]\n\n"
+      "commands:\n"
+      "  generate --out DIR [--sources N] [--spam N] [--seed S] [--terms]\n"
+      "  rank     --in DIR [--algo pagerank|sourcerank|srsr] [--top K]\n"
+      "           [--alpha A] [--topk K]\n"
+      "  audit    --in DIR [--topk K]     (needs labels.txt)\n"
+      "  attack   --in DIR [--target-source S] [--pages N] [--cross C]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "rank") return cmd_rank(args);
+    if (cmd == "audit") return cmd_audit(args);
+    if (cmd == "attack") return cmd_attack(args);
+    usage();
+    return 2;
+  } catch (const srsr::Error& e) {
+    std::cerr << "error: " << e.what() << '\n';
+    return 1;
+  }
+}
