@@ -13,8 +13,24 @@ namespace srsr::bench {
 namespace {
 
 void run() {
+  obs::RunReport report("bench.ablation_solver");
   TextTable t({"Dataset", "Matrix", "Solver", "Iterations", "Seconds",
-               "Kendall tau vs power"});
+               "Iter/s", "Decay", "Kendall tau vs power"});
+  // The per-iteration decay rate now comes straight from the solver's
+  // trace summary instead of being recomputed from residual logs here.
+  const auto row = [&](graph::ScaledDataset which, const char* matrix,
+                       const std::string& solver, const rank::RankResult& r,
+                       const std::string& tau) {
+    t.add_row({graph::dataset_name(which), matrix, solver,
+               TextTable::num(r.iterations), TextTable::fixed(r.seconds, 3),
+               TextTable::fixed(r.iterations_per_second(), 1),
+               TextTable::fixed(r.trace.decay_rate, 4), tau});
+    const std::string key =
+        std::string(graph::dataset_name(which)) + "/" + solver;
+    report.add_stage(key, r.seconds);
+    report.set_meta(key + ".iterations", static_cast<u64>(r.iterations));
+    report.set_meta(key + ".decay_rate", r.trace.decay_rate);
+  };
   for (const auto which : all_datasets()) {
     const auto corpus = make_dataset(which);
     const core::SourceMap map = core::SourceMap::from_corpus(corpus);
@@ -31,33 +47,25 @@ void run() {
     pc.alpha = kAlpha;
     pc.epsilon = 1e-9 / static_cast<f64>(tprime.num_rows());
     const auto push = rank::push_solve(tprime, pc);
-    t.add_row({graph::dataset_name(which), "T' (sources)", "power",
-               TextTable::num(power.iterations),
-               TextTable::fixed(power.seconds, 3), "1.000"});
-    t.add_row({graph::dataset_name(which), "T' (sources)", "jacobi",
-               TextTable::num(jacobi.iterations),
-               TextTable::fixed(jacobi.seconds, 3),
-               TextTable::fixed(
-                   metrics::kendall_tau(power.scores, jacobi.scores), 4)});
-    t.add_row({graph::dataset_name(which), "T' (sources)", "gauss-seidel",
-               TextTable::num(gs.iterations), TextTable::fixed(gs.seconds, 3),
-               TextTable::fixed(
-                   metrics::kendall_tau(power.scores, gs.scores), 4)});
+    row(which, "T' (sources)", "power", power, "1.000");
+    row(which, "T' (sources)", "jacobi", jacobi,
+        TextTable::fixed(metrics::kendall_tau(power.scores, jacobi.scores), 4));
+    row(which, "T' (sources)", "gauss-seidel", gs,
+        TextTable::fixed(metrics::kendall_tau(power.scores, gs.scores), 4));
     t.add_row(
         {graph::dataset_name(which), "T' (sources)",
          "push (pushes/n)",
          TextTable::num(push.pushes / tprime.num_rows()),
-         TextTable::fixed(push.seconds, 3),
+         TextTable::fixed(push.seconds, 3), "-", "-",
          TextTable::fixed(metrics::kendall_tau(power.scores, push.scores),
                           4)});
 
     const auto pr = rank::pagerank(corpus.pages, paper_pagerank_config());
-    t.add_row({graph::dataset_name(which), "M (pages)", "power",
-               TextTable::num(pr.iterations), TextTable::fixed(pr.seconds, 3),
-               "-"});
+    row(which, "M (pages)", "power", pr, "-");
   }
   emit("Ablation: solver route to the stationary vector (tolerance 1e-9 L2)",
        "ablation_solver", t);
+  maybe_write_report("ablation_solver", report);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 
 #include "core/srsr.hpp"
 #include "graph/webgen.hpp"
+#include "obs/report.hpp"
 #include "rank/pagerank.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
@@ -66,6 +67,38 @@ inline void emit(const std::string& title, const std::string& csv_name,
                  const TextTable& table) {
   std::cout << '\n' << table.render(title) << std::flush;
   maybe_write_csv(csv_name, table);
+}
+
+/// Converts a solver result into the RunReport solver record (the
+/// obs layer sits below rank and cannot name RankResult itself).
+inline obs::SolverRun solver_run_of(const std::string& solver,
+                                    const rank::RankResult& r) {
+  obs::SolverRun run;
+  run.solver = solver;
+  run.iterations = r.iterations;
+  run.residual = r.residual;
+  run.converged = r.converged;
+  run.seconds = r.seconds;
+  run.trace = r.trace;
+  return run;
+}
+
+/// True when SRSR_BENCH_REPORT is set (non-empty) in the environment.
+inline bool report_output_enabled() {
+  const char* v = std::getenv("SRSR_BENCH_REPORT");
+  return v != nullptr && v[0] != '\0';
+}
+
+/// Writes `report` as bench_out/<name>.json (mirroring maybe_write_csv)
+/// when SRSR_BENCH_REPORT is set. Returns the path written, or "" when
+/// disabled.
+inline std::string maybe_write_report(const std::string& name,
+                                      const obs::RunReport& report) {
+  if (!report_output_enabled()) return {};
+  const std::string path = "bench_out/" + name + ".json";
+  report.write(path);
+  log_info("wrote ", path);
+  return path;
 }
 
 /// Seed-sampling per Sec. 6.2: a random <10% subset of the true spam

@@ -67,5 +67,13 @@ int main() {
   std::cout << "\nThe hijacked link moved only 1 of blog.example's "
                "page-votes (consensus\nweighting), and throttling "
                "spam.example strips what little it earned.\n";
+
+  // Every solve carries a telemetry summary — no trace hook needed.
+  std::printf(
+      "\nsolver: %u iterations in %.4fs (%.0f it/s), residual %.2e -> %.2e "
+      "(decay %.3f/iter)\n",
+      throttled.iterations, throttled.seconds,
+      throttled.iterations_per_second(), throttled.trace.first_residual,
+      throttled.trace.last_residual, throttled.trace.decay_rate);
   return 0;
 }

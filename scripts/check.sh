@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 check: configure, build, and run the full ctest suite.
+#
+#   scripts/check.sh            # the tier-1 gate (build/ tree)
+#   scripts/check.sh --tsan     # additionally build build-tsan/ with
+#                               # -DSRSR_SANITIZE=thread and run the
+#                               # observability tests under it
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_tsan=0
+for arg in "$@"; do
+  case "$arg" in
+    --tsan) run_tsan=1 ;;
+    *) echo "usage: scripts/check.sh [--tsan]" >&2; exit 2 ;;
+  esac
+done
+
+cmake -B build -S .
+cmake --build build -j
+ctest --test-dir build --output-on-failure -j "$(nproc)"
+
+if [[ "$run_tsan" -eq 1 ]]; then
+  # OpenMP is auto-disabled under TSan (uninstrumented libgomp); the
+  # obs tests re-create the concurrency with plain std::thread.
+  cmake -B build-tsan -S . -DSRSR_SANITIZE=thread \
+    -DSRSR_BUILD_BENCH=OFF -DSRSR_BUILD_EXAMPLES=OFF
+  cmake --build build-tsan -j
+  ctest --test-dir build-tsan --output-on-failure -R '^Obs'
+fi

@@ -1,6 +1,8 @@
 #include "core/spam_proximity.hpp"
 
 #include "graph/transforms.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stage_timer.hpp"
 #include "rank/pagerank.hpp"
 
 namespace srsr::core {
@@ -9,6 +11,11 @@ rank::RankResult spam_proximity(const graph::Graph& source_topology,
                                 const std::vector<NodeId>& spam_seeds,
                                 const SpamProximityConfig& config) {
   check(!spam_seeds.empty(), "spam_proximity: seed set must be non-empty");
+  obs::StageTimer stage("core.spam_proximity");
+  if (obs::metrics_enabled())
+    obs::MetricsRegistry::instance()
+        .counter("srsr.core.spam_proximity.solves")
+        .add();
   // Invert the source graph: a source pointed TO by many sources in the
   // original graph points to them here, so spam mass flows backwards
   // along citations — onto the sources that endorse spam.

@@ -1,11 +1,26 @@
 #include "core/srsr.hpp"
 
+#include "obs/stage_timer.hpp"
+
 namespace srsr::core {
+
+namespace {
+
+/// Times the SourceGraph build without disturbing member-initializer
+/// order (the graph is constructed before the ctor body runs).
+SourceGraph build_source_graph(const graph::Graph& pages,
+                               const SourceMap& map) {
+  obs::StageTimer stage("core.source_graph_build");
+  return SourceGraph(pages, map);
+}
+
+}  // namespace
 
 SpamResilientSourceRank::SpamResilientSourceRank(const graph::Graph& pages,
                                                  const SourceMap& map,
                                                  SrsrConfig config)
-    : config_(config), source_graph_(pages, map) {
+    : config_(config), source_graph_(build_source_graph(pages, map)) {
+  obs::StageTimer stage("core.base_matrix_build");
   base_matrix_ = config_.weighting == EdgeWeighting::kConsensus
                      ? source_graph_.consensus_matrix(config_.self_edges)
                      : source_graph_.uniform_matrix(config_.self_edges);
@@ -13,11 +28,13 @@ SpamResilientSourceRank::SpamResilientSourceRank(const graph::Graph& pages,
 
 rank::StochasticMatrix SpamResilientSourceRank::throttled_matrix(
     std::span<const f64> kappa) const {
+  obs::StageTimer stage("core.throttle_transform");
   return apply_throttle(base_matrix_, kappa, config_.throttle_mode);
 }
 
 rank::RankResult SpamResilientSourceRank::solve(
     const rank::StochasticMatrix& matrix) const {
+  obs::StageTimer stage("core.solve");
   rank::SolverConfig sc;
   sc.alpha = config_.alpha;
   sc.convergence = config_.convergence;

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "graph/builder.hpp"
+#include "obs/stage_timer.hpp"
 #include "util/log.hpp"
 
 namespace srsr::graph {
@@ -47,6 +48,7 @@ f64 WebCorpus::measured_locality() const {
 }
 
 WebCorpus generate_web_corpus(const WebGenConfig& cfg) {
+  obs::StageTimer stage("graph.webgen.generate");
   check(cfg.num_sources > 0, "webgen: num_sources must be positive");
   check(cfg.num_spam_sources < cfg.num_sources,
         "webgen: spam sources must be a strict subset");

@@ -1,0 +1,66 @@
+// Tiny JSON emission helpers shared by the obs writers.
+//
+// The library has no third-party JSON dependency; telemetry only ever
+// *writes* JSON (reports, metric snapshots), so a quoted-string escaper
+// and a round-trippable number formatter are all that is needed.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace srsr::obs::json {
+
+/// Returns `s` as a quoted JSON string literal (quotes included).
+inline std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// Formats a double as a JSON number that round-trips; non-finite
+/// values (which JSON cannot represent) become null.
+inline std::string number(f64 v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+inline std::string number(u64 v) { return std::to_string(v); }
+inline std::string number(u32 v) { return std::to_string(v); }
+
+inline std::string boolean(bool v) { return v ? "true" : "false"; }
+
+}  // namespace srsr::obs::json

@@ -1,0 +1,177 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+
+#include "obs/json.hpp"
+
+namespace srsr::obs {
+
+namespace detail {
+std::atomic<bool> g_metrics_enabled{false};
+}  // namespace detail
+
+void set_metrics_enabled(bool on) {
+  detail::g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<f64> upper_bounds)
+    : bounds_(std::move(upper_bounds)), counts_(bounds_.size() + 1) {
+  check(!bounds_.empty(), "Histogram: needs at least one bucket bound");
+  for (std::size_t i = 1; i < bounds_.size(); ++i)
+    check(bounds_[i - 1] < bounds_[i],
+          "Histogram: bucket bounds must be strictly increasing");
+}
+
+std::vector<u64> Histogram::counts() const {
+  std::vector<u64> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i)
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  return out;
+}
+
+f64 Histogram::mean() const {
+  const u64 n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<f64>(n);
+}
+
+std::vector<f64> default_seconds_buckets() {
+  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+}
+
+namespace {
+
+void check_name(const std::string& name) {
+  check(name.size() > 5 && name.compare(0, 5, "srsr.") == 0 &&
+            name.back() != '.',
+        "MetricsRegistry: metric name '" + name +
+            "' must follow the srsr.<subsystem>.<name> scheme");
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  check_name(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  check(gauges_.count(name) == 0 && histograms_.count(name) == 0,
+        "MetricsRegistry: '" + name + "' already registered as another kind");
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  check_name(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  check(counters_.count(name) == 0 && histograms_.count(name) == 0,
+        "MetricsRegistry: '" + name + "' already registered as another kind");
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<f64> upper_bounds) {
+  check_name(name);
+  std::lock_guard<std::mutex> lock(mutex_);
+  check(counters_.count(name) == 0 && gauges_.count(name) == 0,
+        "MetricsRegistry: '" + name + "' already registered as another kind");
+  auto& slot = histograms_[name];
+  if (!slot)
+    slot = std::make_unique<Histogram>(upper_bounds.empty()
+                                           ? default_seconds_buckets()
+                                           : std::move(upper_bounds));
+  return *slot;
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot snap;
+  for (const auto& [name, c] : counters_)
+    snap.counters.emplace_back(name, c->value());
+  for (const auto& [name, g] : gauges_)
+    snap.gauges.emplace_back(name, g->value());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->bounds();
+    hs.counts = h->counts();
+    hs.count = h->count();
+    hs.sum = h->sum();
+    snap.histograms.emplace_back(name, std::move(hs));
+  }
+  return snap;
+}
+
+TextTable MetricsRegistry::snapshot_table() const {
+  const Snapshot snap = snapshot();
+  TextTable t({"Metric", "Type", "Value"});
+  for (const auto& [name, v] : snap.counters)
+    t.add_row({name, "counter", TextTable::num(v)});
+  for (const auto& [name, v] : snap.gauges)
+    t.add_row({name, "gauge", TextTable::sci(v, 4)});
+  for (const auto& [name, h] : snap.histograms) {
+    const f64 mean = h.count == 0 ? 0.0 : h.sum / static_cast<f64>(h.count);
+    t.add_row({name, "histogram",
+               TextTable::num(h.count) + " obs, mean " +
+                   TextTable::sci(mean, 3) + ", sum " +
+                   TextTable::sci(h.sum, 3)});
+  }
+  return t;
+}
+
+std::string MetricsRegistry::snapshot_json() const {
+  const Snapshot snap = snapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snap.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += json::quote(name) + ":" + json::number(v);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snap.gauges) {
+    if (!first) out += ',';
+    first = false;
+    out += json::quote(name) + ":" + json::number(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snap.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += json::quote(name) + ":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      if (i) out += ',';
+      out += json::number(h.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts.size(); ++i) {
+      if (i) out += ',';
+      out += json::number(h.counts[i]);
+    }
+    out += "],\"count\":" + json::number(h.count) +
+           ",\"sum\":" + json::number(h.sum) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, c] : counters_)
+    c->value_.store(0, std::memory_order_relaxed);
+  for (auto& [name, g] : gauges_)
+    g->bits_.store(0, std::memory_order_relaxed);
+  for (auto& [name, h] : histograms_) {
+    for (auto& bucket : h->counts_) bucket.store(0, std::memory_order_relaxed);
+    h->count_.store(0, std::memory_order_relaxed);
+    h->sum_bits_.store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace srsr::obs

@@ -1,0 +1,184 @@
+// Process-wide metrics: named counters, gauges, and fixed-bucket
+// histograms with lock-free record paths.
+//
+// Collection contract:
+//
+//   - Recording is a no-op until telemetry is switched on with
+//     set_metrics_enabled(true). Every record path is guarded by one
+//     relaxed atomic load + branch, so instrumented hot loops pay
+//     nothing when nobody is consuming the data (the benches pin this).
+//   - When enabled, records are relaxed atomic read-modify-writes — no
+//     locks, safe to call from OpenMP worker threads.
+//   - Handle lookup (MetricsRegistry::counter() etc.) takes a mutex and
+//     belongs on setup paths; instrumented code keeps the returned
+//     reference, which stays valid for the process lifetime.
+//
+// Naming scheme: "srsr.<subsystem>.<name>", lowercase dotted segments —
+// e.g. "srsr.rank.pagerank.iterations", "srsr.core.solve.seconds". The
+// registry rejects names outside the "srsr." namespace so that exports
+// stay greppable and collision-free.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/table.hpp"
+
+namespace srsr::obs {
+
+namespace detail {
+extern std::atomic<bool> g_metrics_enabled;
+
+/// Relaxed-atomic f64 accumulate over a u64 bit store.
+inline void atomic_add_f64(std::atomic<u64>& bits, f64 delta) {
+  u64 old = bits.load(std::memory_order_relaxed);
+  while (!bits.compare_exchange_weak(
+      old, std::bit_cast<u64>(std::bit_cast<f64>(old) + delta),
+      std::memory_order_relaxed)) {
+  }
+}
+}  // namespace detail
+
+/// The single branch/atomic load guarding every record path.
+inline bool metrics_enabled() {
+  return detail::g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns collection on/off process-wide (off by default).
+void set_metrics_enabled(bool on);
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(u64 delta = 1) {
+    if (!metrics_enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  u64 value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<u64> value_{0};
+};
+
+/// Last-written (or accumulated) floating-point value.
+class Gauge {
+ public:
+  void set(f64 v) {
+    if (!metrics_enabled()) return;
+    bits_.store(std::bit_cast<u64>(v), std::memory_order_relaxed);
+  }
+  void add(f64 delta) {
+    if (!metrics_enabled()) return;
+    detail::atomic_add_f64(bits_, delta);
+  }
+  f64 value() const {
+    return std::bit_cast<f64>(bits_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  friend class MetricsRegistry;
+  std::atomic<u64> bits_{0};  // bit pattern of 0.0
+};
+
+/// Fixed-bucket histogram: bucket b counts observations v <= bound[b]
+/// (first matching bucket); one extra overflow bucket catches the rest.
+class Histogram {
+ public:
+  /// `upper_bounds` must be non-empty and strictly increasing.
+  explicit Histogram(std::vector<f64> upper_bounds);
+
+  void observe(f64 v) {
+    if (!metrics_enabled()) return;
+    // Linear scan: bucket lists are ~10 entries, where a scan beats a
+    // binary search and costs nothing next to the atomics.
+    std::size_t b = 0;
+    while (b < bounds_.size() && v > bounds_[b]) ++b;
+    counts_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    detail::atomic_add_f64(sum_bits_, v);
+  }
+
+  const std::vector<f64>& bounds() const { return bounds_; }
+  /// Per-bucket counts; size bounds().size() + 1, last = overflow.
+  std::vector<u64> counts() const;
+  u64 count() const { return count_.load(std::memory_order_relaxed); }
+  f64 sum() const {
+    return std::bit_cast<f64>(sum_bits_.load(std::memory_order_relaxed));
+  }
+  f64 mean() const;
+
+ private:
+  friend class MetricsRegistry;
+  std::vector<f64> bounds_;
+  std::vector<std::atomic<u64>> counts_;  // bounds_.size() + 1
+  std::atomic<u64> count_{0};
+  std::atomic<u64> sum_bits_{0};
+};
+
+/// Default histogram bounds for wall-time observations, in seconds.
+std::vector<f64> default_seconds_buckets();
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumented call site records to.
+  static MetricsRegistry& instance();
+
+  /// Returns the instrument registered under `name`, creating it on
+  /// first use. Names must match the "srsr.<subsystem>.<name>" scheme
+  /// and may only ever be registered as one instrument kind.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  /// `upper_bounds` applies on first registration only; later lookups
+  /// return the existing histogram unchanged.
+  Histogram& histogram(const std::string& name,
+                       std::vector<f64> upper_bounds = {});
+
+  struct HistogramSnapshot {
+    std::vector<f64> bounds;
+    std::vector<u64> counts;  // bounds.size() + 1, last = overflow
+    u64 count = 0;
+    f64 sum = 0.0;
+  };
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, u64>> counters;   // sorted by name
+    std::vector<std::pair<std::string, f64>> gauges;     // sorted by name
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+    bool empty() const {
+      return counters.empty() && gauges.empty() && histograms.empty();
+    }
+  };
+
+  /// Point-in-time copy of every registered instrument.
+  Snapshot snapshot() const;
+
+  /// Snapshot rendered as a metric/type/value table (TextTable knows how
+  /// to render itself as aligned text or CSV).
+  TextTable snapshot_table() const;
+
+  /// Snapshot as a JSON object: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {"bounds": [...], "counts": [...], ...}}}.
+  std::string snapshot_json() const;
+
+  /// Zeroes every instrument but keeps registrations (handles stay
+  /// valid). For tests and between CLI runs.
+  void reset_values();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace srsr::obs

@@ -1,0 +1,60 @@
+// RAII scope timer for pipeline stages.
+//
+// A StageTimer measures the wall time of its enclosing scope and, on
+// stop (or destruction), records it to
+//
+//   - the metrics registry, as histogram "srsr.<stage>.seconds" — only
+//     when metrics collection is enabled; and
+//   - an optional RunReport, as a stage entry — whenever one is given.
+//
+// Stage names are the middle of the metric name: StageTimer("core.solve")
+// feeds "srsr.core.solve.seconds". Construction is cheap (one clock
+// read); registry lookup happens once at stop, so this belongs on
+// setup/stage boundaries, not inside iteration loops.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "util/timer.hpp"
+
+namespace srsr::obs {
+
+class StageTimer {
+ public:
+  explicit StageTimer(std::string stage, RunReport* report = nullptr)
+      : stage_(std::move(stage)), report_(report) {}
+
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+  ~StageTimer() { stop(); }
+
+  /// Records once and returns the elapsed seconds; later calls return
+  /// the recorded value without recording again.
+  f64 stop() {
+    if (stopped_) return seconds_;
+    stopped_ = true;
+    seconds_ = timer_.seconds();
+    if (metrics_enabled()) {
+      MetricsRegistry::instance()
+          .histogram("srsr." + stage_ + ".seconds")
+          .observe(seconds_);
+    }
+    if (report_) report_->add_stage(stage_, seconds_);
+    return seconds_;
+  }
+
+  const std::string& stage() const { return stage_; }
+
+ private:
+  std::string stage_;
+  RunReport* report_;
+  WallTimer timer_;
+  bool stopped_ = false;
+  f64 seconds_ = 0.0;
+};
+
+}  // namespace srsr::obs

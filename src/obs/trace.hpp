@@ -1,0 +1,96 @@
+// Per-iteration solver tracing.
+//
+// Hook contract (honored by every iterative solver in src/rank):
+//
+//   - A solver config carries a non-owning `IterationTrace*` (via
+//     rank::Convergence, or directly for solvers without one). nullptr
+//     means no tracing; the solver's only obligation then is a single
+//     branch per iteration.
+//   - With a trace attached, the solver calls on_iteration() exactly
+//     once per iteration of its main loop, in order, with a 1-based
+//     iteration number, the residual under its configured norm, a
+//     componentwise delta norm (L-inf of the iterate change, or the
+//     solver's documented proxy), and wall seconds since solve start.
+//   - The residual of the final record equals the residual the solver
+//     returns in its result.
+//   - Exception: the residual-push solver has no sweep structure; it
+//     records one entry per num_rows() pushes (a sweep-equivalent) with
+//     the magnitude of the residual just pushed as the residual proxy.
+//
+// The trace owns its records; attach a callback for streaming instead
+// of (or in addition to) buffering. Traces are not thread-safe — one
+// trace per concurrent solve.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace srsr::obs {
+
+struct IterationRecord {
+  u32 iteration = 0;  // 1-based
+  f64 residual = 0.0; // successive-iterate distance, solver's norm
+  f64 delta = 0.0;    // L-inf componentwise change (or documented proxy)
+  f64 seconds = 0.0;  // wall time since solve start
+};
+
+/// Cheap residual-series summary every solver fills into its result
+/// even when no trace is attached (tracking first/last residual costs
+/// nothing on the hot path).
+struct TraceSummary {
+  u32 iterations = 0;
+  f64 first_residual = 0.0;
+  f64 last_residual = 0.0;
+  /// Geometric mean of the per-iteration residual ratio — for a cleanly
+  /// converging power method this approaches the damping factor alpha.
+  /// 0 when undefined (fewer than 2 iterations or a zero endpoint).
+  f64 decay_rate = 0.0;
+};
+
+inline TraceSummary make_trace_summary(u32 iterations, f64 first_residual,
+                                       f64 last_residual) {
+  TraceSummary s;
+  s.iterations = iterations;
+  s.first_residual = first_residual;
+  s.last_residual = last_residual;
+  if (iterations > 1 && first_residual > 0.0 && last_residual > 0.0) {
+    s.decay_rate = std::pow(last_residual / first_residual,
+                            1.0 / static_cast<f64>(iterations - 1));
+  }
+  return s;
+}
+
+class IterationTrace {
+ public:
+  using Callback = std::function<void(const IterationRecord&)>;
+
+  void on_iteration(const IterationRecord& rec) {
+    records_.push_back(rec);
+    if (callback_) callback_(rec);
+  }
+
+  /// Invoked after each record is buffered (streaming consumers).
+  void set_callback(Callback cb) { callback_ = std::move(cb); }
+
+  const std::vector<IterationRecord>& records() const { return records_; }
+  bool empty() const { return records_.empty(); }
+  std::size_t size() const { return records_.size(); }
+  void clear() { records_.clear(); }
+
+  /// Summary over the buffered records (empty trace -> zero summary).
+  TraceSummary summary() const {
+    if (records_.empty()) return {};
+    return make_trace_summary(static_cast<u32>(records_.size()),
+                              records_.front().residual,
+                              records_.back().residual);
+  }
+
+ private:
+  std::vector<IterationRecord> records_;
+  Callback callback_;
+};
+
+}  // namespace srsr::obs

@@ -3,6 +3,7 @@
 
 #include <span>
 
+#include "obs/trace.hpp"
 #include "util/common.hpp"
 #include "util/stats.hpp"
 
@@ -17,6 +18,12 @@ struct Convergence {
   Norm norm = Norm::kL2;
   f64 tolerance = 1e-9;
   u32 max_iterations = 1000;
+  /// Optional per-iteration trace hook (non-owning; must outlive the
+  /// solve). See obs/trace.hpp for the contract every solver honors.
+  /// Rides in Convergence so that it reaches every solver config —
+  /// including composed ones (TrustRank, spam proximity, SRSR) — for
+  /// free. nullptr costs one branch per iteration.
+  obs::IterationTrace* trace = nullptr;
 
   f64 distance(std::span<const f64> a, std::span<const f64> b) const {
     switch (norm) {

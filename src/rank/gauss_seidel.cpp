@@ -1,5 +1,6 @@
 #include "rank/gauss_seidel.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace srsr::rank {
@@ -56,6 +57,8 @@ RankResult gauss_seidel_solve(const StochasticMatrix& matrix,
     for (NodeId v = 0; v < n; ++v) x[v] = init[v] / sum;
   }
   std::vector<f64> prev(n);
+  obs::IterationTrace* const trace = config.convergence.trace;
+  f64 first_residual = 0.0;
 
   for (u32 iter = 0; iter < config.convergence.max_iterations; ++iter) {
     prev = x;
@@ -70,6 +73,10 @@ RankResult gauss_seidel_solve(const StochasticMatrix& matrix,
     }
     result.iterations = iter + 1;
     result.residual = config.convergence.distance(prev, x);
+    if (iter == 0) first_residual = result.residual;
+    if (trace)
+      trace->on_iteration({iter + 1, result.residual, linf_distance(prev, x),
+                           timer.seconds()});
     if (result.residual < config.convergence.tolerance) {
       result.converged = true;
       break;
@@ -82,6 +89,14 @@ RankResult gauss_seidel_solve(const StochasticMatrix& matrix,
     for (f64& v : x) v /= sum;
   result.scores = std::move(x);
   result.seconds = timer.seconds();
+  result.trace = obs::make_trace_summary(result.iterations, first_residual,
+                                         result.residual);
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("srsr.rank.gauss_seidel.solves").add();
+    reg.counter("srsr.rank.gauss_seidel.iterations").add(result.iterations);
+    reg.histogram("srsr.rank.gauss_seidel.seconds").observe(result.seconds);
+  }
   return result;
 }
 

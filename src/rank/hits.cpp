@@ -3,7 +3,9 @@
 #include <cmath>
 
 #include "graph/transforms.hpp"
+#include "obs/metrics.hpp"
 #include "util/parallel.hpp"
+#include "util/timer.hpp"
 
 namespace srsr::rank {
 
@@ -25,6 +27,8 @@ HitsResult hits(const graph::Graph& g, const HitsConfig& config) {
     return result;
   }
   const graph::Graph rev = graph::reverse(g);
+  WallTimer timer;
+  obs::IterationTrace* const trace = config.convergence.trace;
 
   std::vector<f64> auth(n, 1.0 / std::sqrt(static_cast<f64>(n)));
   std::vector<f64> hub(n, 1.0 / std::sqrt(static_cast<f64>(n)));
@@ -51,6 +55,9 @@ HitsResult hits(const graph::Graph& g, const HitsConfig& config) {
 
     result.iterations = iter + 1;
     result.residual = config.convergence.distance(prev_auth, auth);
+    if (trace)
+      trace->on_iteration({iter + 1, result.residual,
+                           linf_distance(prev_auth, auth), timer.seconds()});
     if (result.residual < config.convergence.tolerance) {
       result.converged = true;
       break;

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "graph/transforms.hpp"
+#include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -57,6 +58,8 @@ RankResult PageRank::solve(const PageRankConfig& config) const {
                      : std::vector<f64>(n, 1.0 / static_cast<f64>(n));
   std::vector<f64> next(n, 0.0);
   const f64 alpha = config.alpha;
+  obs::IterationTrace* const trace = config.convergence.trace;
+  f64 first_residual = 0.0;
 
   for (u32 iter = 0; iter < config.convergence.max_iterations; ++iter) {
     // Mass parked on dangling pages teleports.
@@ -73,6 +76,10 @@ RankResult PageRank::solve(const PageRankConfig& config) const {
 
     result.iterations = iter + 1;
     result.residual = config.convergence.distance(cur, next);
+    if (iter == 0) first_residual = result.residual;
+    if (trace)
+      trace->on_iteration({iter + 1, result.residual,
+                           linf_distance(cur, next), timer.seconds()});
     cur.swap(next);
     if (result.residual < config.convergence.tolerance) {
       result.converged = true;
@@ -88,6 +95,15 @@ RankResult PageRank::solve(const PageRankConfig& config) const {
 
   result.scores = std::move(cur);
   result.seconds = timer.seconds();
+  result.trace =
+      obs::make_trace_summary(result.iterations, first_residual,
+                              result.residual);
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("srsr.rank.pagerank.solves").add();
+    reg.counter("srsr.rank.pagerank.iterations").add(result.iterations);
+    reg.histogram("srsr.rank.pagerank.seconds").observe(result.seconds);
+  }
   return result;
 }
 

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <deque>
 
+#include "obs/metrics.hpp"
 #include "util/timer.hpp"
 
 namespace srsr::rank {
@@ -45,6 +46,9 @@ PushResult run_push(const StochasticMatrix& matrix, const PushConfig& config,
     }
   }
 
+  obs::IterationTrace* const trace = config.trace;
+  u32 sweeps = 0;
+
   while (!queue.empty()) {
     if (config.max_pushes != 0 && result.pushes >= config.max_pushes) break;
     const NodeId u = queue.front();
@@ -53,6 +57,9 @@ PushResult run_push(const StochasticMatrix& matrix, const PushConfig& config,
     const f64 ru = r[u];
     if (std::abs(ru) < config.epsilon) continue;
     ++result.pushes;
+    if (trace && result.pushes % n == 0)
+      trace->on_iteration({++sweeps, std::abs(ru), std::abs(ru),
+                           timer.seconds()});
     if (!ever_pushed[u]) {
       ever_pushed[u] = true;
       ++result.touched;
@@ -76,6 +83,9 @@ PushResult run_push(const StochasticMatrix& matrix, const PushConfig& config,
     result.max_residual = std::max(result.max_residual, std::abs(v));
     if (std::abs(v) >= config.epsilon) result.converged = false;
   }
+  if (trace)
+    trace->on_iteration({sweeps + 1, result.max_residual, result.max_residual,
+                         timer.seconds()});
 
   // Tiny negative leftovers can survive signed pushes (bounded by the
   // residual tolerance); clamp before normalizing to a distribution.
@@ -88,6 +98,12 @@ PushResult run_push(const StochasticMatrix& matrix, const PushConfig& config,
     for (f64& v : p) v /= sum;
   result.scores = std::move(p);
   result.seconds = timer.seconds();
+  if (obs::metrics_enabled()) {
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter("srsr.rank.push.solves").add();
+    reg.counter("srsr.rank.push.pushes").add(result.pushes);
+    reg.histogram("srsr.rank.push.seconds").observe(result.seconds);
+  }
   return result;
 }
 

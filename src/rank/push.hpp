@@ -33,6 +33,7 @@
 #include <optional>
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "rank/stochastic.hpp"
 #include "util/common.hpp"
 
@@ -49,6 +50,12 @@ struct PushConfig {
   /// Teleport / seed distribution c; uniform when absent. A sparse c
   /// (e.g. one source) makes the solve local.
   std::optional<std::vector<f64>> teleport;
+  /// Optional trace hook (non-owning). Push has no sweep structure, so
+  /// the contract differs from the power-style solvers: one record per
+  /// num_rows() pushes — a sweep-equivalent — with the magnitude of the
+  /// residual just pushed as the residual proxy, plus a final record at
+  /// termination carrying the exit max-residual.
+  obs::IterationTrace* trace = nullptr;
 };
 
 struct PushResult {

@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "obs/trace.hpp"
 #include "util/common.hpp"
 
 namespace srsr::rank {
@@ -19,6 +20,15 @@ struct RankResult {
   bool converged = false;
   /// Wall-clock solve time.
   f64 seconds = 0.0;
+  /// Residual-series summary (first/last residual, geometric decay
+  /// rate). Filled by every solver whether or not an IterationTrace is
+  /// attached; trace.last_residual always equals `residual`.
+  obs::TraceSummary trace;
+
+  /// Iteration throughput; 0 when the solve was instantaneous.
+  f64 iterations_per_second() const {
+    return seconds > 0.0 ? static_cast<f64>(iterations) / seconds : 0.0;
+  }
 };
 
 }  // namespace srsr::rank

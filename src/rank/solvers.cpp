@@ -1,5 +1,6 @@
 #include "rank/solvers.hpp"
 
+#include "obs/metrics.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -28,7 +29,7 @@ std::vector<f64> make_teleport(const SolverConfig& config, NodeId n) {
 /// distribution) vs the raw linear form (Jacobi: deficit mass simply
 /// evaporates and the final normalization absorbs it).
 RankResult iterate(const StochasticMatrix& matrix, const SolverConfig& config,
-                   bool complete_deficits) {
+                   bool complete_deficits, const char* solver_name) {
   check(config.alpha >= 0.0 && config.alpha < 1.0,
         "solver: alpha must be in [0, 1)");
   const NodeId n = matrix.num_rows();
@@ -59,6 +60,8 @@ RankResult iterate(const StochasticMatrix& matrix, const SolverConfig& config,
     return out;
   }();
   std::vector<f64> next(n, 0.0);
+  obs::IterationTrace* const trace = config.convergence.trace;
+  f64 first_residual = 0.0;
 
   for (u32 iter = 0; iter < config.convergence.max_iterations; ++iter) {
     f64 deficit_mass = 0.0;
@@ -78,6 +81,10 @@ RankResult iterate(const StochasticMatrix& matrix, const SolverConfig& config,
 
     result.iterations = iter + 1;
     result.residual = config.convergence.distance(cur, next);
+    if (iter == 0) first_residual = result.residual;
+    if (trace)
+      trace->on_iteration({iter + 1, result.residual,
+                           linf_distance(cur, next), timer.seconds()});
     cur.swap(next);
     if (result.residual < config.convergence.tolerance) {
       result.converged = true;
@@ -94,6 +101,15 @@ RankResult iterate(const StochasticMatrix& matrix, const SolverConfig& config,
 
   result.scores = std::move(cur);
   result.seconds = timer.seconds();
+  result.trace = obs::make_trace_summary(result.iterations, first_residual,
+                                         result.residual);
+  if (obs::metrics_enabled()) {
+    const std::string prefix = std::string("srsr.rank.") + solver_name;
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter(prefix + ".solves").add();
+    reg.counter(prefix + ".iterations").add(result.iterations);
+    reg.histogram(prefix + ".seconds").observe(result.seconds);
+  }
   return result;
 }
 
@@ -101,12 +117,12 @@ RankResult iterate(const StochasticMatrix& matrix, const SolverConfig& config,
 
 RankResult power_solve(const StochasticMatrix& matrix,
                        const SolverConfig& config) {
-  return iterate(matrix, config, /*complete_deficits=*/true);
+  return iterate(matrix, config, /*complete_deficits=*/true, "power");
 }
 
 RankResult jacobi_solve(const StochasticMatrix& matrix,
                         const SolverConfig& config) {
-  return iterate(matrix, config, /*complete_deficits=*/false);
+  return iterate(matrix, config, /*complete_deficits=*/false, "jacobi");
 }
 
 }  // namespace srsr::rank

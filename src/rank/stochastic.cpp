@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "obs/stage_timer.hpp"
+
 namespace srsr::rank {
 
 namespace {
@@ -126,6 +128,7 @@ void StochasticMatrix::left_multiply(std::span<const f64> x,
 }
 
 StochasticMatrix StochasticMatrix::transpose() const {
+  obs::StageTimer stage("rank.transpose");
   const NodeId n = num_rows();
   std::vector<u64> offsets(static_cast<std::size_t>(n) + 1, 0);
   for (const NodeId c : cols_) ++offsets[c + 1];

@@ -1,5 +1,7 @@
 #include "rank/trustrank.hpp"
 
+#include "obs/metrics.hpp"
+
 namespace srsr::rank {
 
 RankResult trustrank(const graph::Graph& g,
@@ -13,8 +15,12 @@ RankResult trustrank(const graph::Graph& g,
   }
   PageRankConfig pr;
   pr.alpha = config.alpha;
+  // The trace pointer rides along in the copied Convergence, so an
+  // attached IterationTrace observes the underlying PageRank solve.
   pr.convergence = config.convergence;
   pr.teleport = std::move(teleport);
+  if (obs::metrics_enabled())
+    obs::MetricsRegistry::instance().counter("srsr.rank.trustrank.solves").add();
   return pagerank(g, pr);
 }
 

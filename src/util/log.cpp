@@ -1,13 +1,41 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
 #include <iostream>
 #include <mutex>
+#include <thread>
 
 namespace srsr {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+/// Parses SRSR_LOG_LEVEL ("debug"/"info"/"warn"/"error"/"off", or the
+/// numeric LogLevel value). Unset, empty, or unrecognized -> kInfo.
+LogLevel level_from_env() {
+  const char* v = std::getenv("SRSR_LOG_LEVEL");
+  if (v == nullptr || v[0] == '\0') return LogLevel::kInfo;
+  std::string s(v);
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  if (s == "debug" || s == "0") return LogLevel::kDebug;
+  if (s == "info" || s == "1") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning" || s == "2") return LogLevel::kWarn;
+  if (s == "error" || s == "3") return LogLevel::kError;
+  if (s == "off" || s == "none" || s == "4") return LogLevel::kOff;
+  return LogLevel::kInfo;
+}
+
+/// Lazily initialized so the environment is honored no matter how early
+/// the first log call happens (including from static initializers).
+std::atomic<LogLevel>& level_ref() {
+  static std::atomic<LogLevel> level{level_from_env()};
+  return level;
+}
+
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -24,16 +52,44 @@ const char* level_name(LogLevel level) {
       return "?????";
   }
 }
+
+/// UTC wall-clock timestamp with millisecond resolution, ISO-8601.
+std::string timestamp_utc() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto ms =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char date[24];
+  std::strftime(date, sizeof date, "%Y-%m-%dT%H:%M:%S", &tm);
+  char out[32];
+  std::snprintf(out, sizeof out, "%s.%03dZ", date, static_cast<int>(ms));
+  return out;
+}
+
+/// Stable small id for the calling thread (hashed std::thread::id is
+/// unreadably wide; a per-process sequence number greps better).
+u32 thread_tag() {
+  static std::atomic<u32> next{0};
+  thread_local const u32 tag = next.fetch_add(1);
+  return tag;
+}
+
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level.store(level); }
+void set_log_level(LogLevel level) { level_ref().store(level); }
 
-LogLevel log_level() { return g_level.load(); }
+LogLevel log_level() { return level_ref().load(); }
 
 void log_message(LogLevel level, const std::string& msg) {
-  if (level < g_level.load()) return;
+  if (level < log_level()) return;
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[srsr " << level_name(level) << "] " << msg << '\n';
+  std::cerr << timestamp_utc() << " [srsr " << level_name(level) << " t"
+            << thread_tag() << "] " << msg << '\n';
+  // Warnings and errors must survive a crash right after the call.
+  if (level >= LogLevel::kWarn) std::cerr.flush();
 }
 
 }  // namespace srsr

@@ -4,6 +4,16 @@
 // with the level raised to Warn to keep output clean. The logger is a
 // process-global singleton guarded by a mutex: logging volume in this
 // library is a handful of lines per solver run, never on a hot path.
+//
+// Each line carries an ISO-8601 UTC timestamp (millisecond precision),
+// the level tag, and a small per-process thread id:
+//
+//   2026-08-05T12:00:00.123Z [srsr INFO  t0] uk2002-s: 4000 sources...
+//
+// stderr is flushed after every kWarn+ line so diagnostics survive a
+// crash. The initial level honors the SRSR_LOG_LEVEL environment
+// variable ("debug", "info", "warn", "error", "off"; default info);
+// set_log_level() overrides it at runtime.
 #pragma once
 
 #include <sstream>

@@ -34,6 +34,49 @@ endif()
 run_cli(rank --in "${DIR}" --algo pagerank --top 3)
 run_cli(rank --in "${DIR}" --algo sourcerank --top 3)
 
+# --trace must emit a structured JSON run report.
+set(TRACE "${DIR}/trace.json")
+run_cli(rank --in "${DIR}" --algo srsr --top 3 --trace "${TRACE}")
+if(NOT EXISTS "${TRACE}")
+  message(FATAL_ERROR "rank --trace did not write ${TRACE}")
+endif()
+file(READ "${TRACE}" trace_json)
+if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+  string(JSON schema GET "${trace_json}" schema_version)
+  if(NOT schema EQUAL 1)
+    message(FATAL_ERROR "unexpected schema_version '${schema}' in ${TRACE}")
+  endif()
+  string(JSON n_trace LENGTH "${trace_json}" trace)
+  if(n_trace LESS 1)
+    message(FATAL_ERROR "run report has no iteration records:\n${trace_json}")
+  endif()
+  string(JSON first_iter GET "${trace_json}" trace 0 iteration)
+  if(NOT first_iter EQUAL 1)
+    message(FATAL_ERROR "first trace record should be iteration 1, got '${first_iter}'")
+  endif()
+  string(JSON n_stages LENGTH "${trace_json}" stages)
+  if(n_stages LESS 1)
+    message(FATAL_ERROR "run report has no stage timings:\n${trace_json}")
+  endif()
+  string(JSON solver_name GET "${trace_json}" solver name)
+  if(NOT solver_name STREQUAL "srsr")
+    message(FATAL_ERROR "unexpected solver name '${solver_name}' in ${TRACE}")
+  endif()
+else()
+  # Pre-3.19 CMake: settle for structural regexes.
+  if(NOT trace_json MATCHES "\"schema_version\":1")
+    message(FATAL_ERROR "run report missing schema_version:\n${trace_json}")
+  endif()
+  if(NOT trace_json MATCHES "\"trace\":\\[\\{\"iteration\":1,")
+    message(FATAL_ERROR "run report missing iteration records:\n${trace_json}")
+  endif()
+endif()
+
+run_cli(stats --in "${DIR}")
+if(NOT CLI_OUTPUT MATCHES "iterations")
+  message(FATAL_ERROR "stats output malformed:\n${CLI_OUTPUT}")
+endif()
+
 run_cli(audit --in "${DIR}" --topk 5)
 if(NOT CLI_OUTPUT MATCHES "Spam-proximity audit")
   message(FATAL_ERROR "audit output malformed:\n${CLI_OUTPUT}")

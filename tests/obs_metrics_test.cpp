@@ -1,0 +1,223 @@
+// Tests for the metrics registry (obs/metrics.hpp): instrument
+// correctness, histogram bucketing, name validation, and exact counts
+// under concurrent recording.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace srsr::obs {
+namespace {
+
+/// Restores the collection switch on scope exit (tests share a process)
+/// and zeroes the registry so counts from earlier tests don't leak in.
+struct MetricsEnabledGuard {
+  explicit MetricsEnabledGuard(bool on) : saved_(metrics_enabled()) {
+    set_metrics_enabled(on);
+  }
+  ~MetricsEnabledGuard() {
+    MetricsRegistry::instance().reset_values();
+    set_metrics_enabled(saved_);
+  }
+
+ private:
+  bool saved_;
+};
+
+TEST(ObsMetrics, DisabledRecordsAreNoops) {
+  MetricsEnabledGuard guard(false);
+  auto& reg = MetricsRegistry::instance();
+  auto& c = reg.counter("srsr.test.disabled.count");
+  auto& g = reg.gauge("srsr.test.disabled.gauge");
+  auto& h = reg.histogram("srsr.test.disabled.hist", {1.0, 2.0});
+  c.add();
+  c.add(100);
+  g.set(3.5);
+  g.add(1.0);
+  h.observe(0.5);
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+}
+
+TEST(ObsMetrics, CounterAccumulates) {
+  MetricsEnabledGuard guard(true);
+  auto& c = MetricsRegistry::instance().counter("srsr.test.counter.basic");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(ObsMetrics, GaugeSetAndAdd) {
+  MetricsEnabledGuard guard(true);
+  auto& g = MetricsRegistry::instance().gauge("srsr.test.gauge.basic");
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_EQ(g.value(), 1.5);
+  g.set(-7.25);
+  EXPECT_EQ(g.value(), -7.25);
+}
+
+TEST(ObsMetrics, HistogramBucketing) {
+  MetricsEnabledGuard guard(true);
+  auto& h = MetricsRegistry::instance().histogram("srsr.test.hist.buckets",
+                                                  {1.0, 2.0, 4.0});
+  // Bucket rule: first b with v <= bound[b]; values above every bound
+  // land in the overflow bucket.
+  h.observe(0.5);   // bucket 0
+  h.observe(1.0);   // bucket 0 (inclusive upper bound)
+  h.observe(1.5);   // bucket 1
+  h.observe(4.0);   // bucket 2
+  h.observe(100.0); // overflow
+  const auto counts = h.counts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 107.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 107.0 / 5.0);
+}
+
+TEST(ObsMetrics, HistogramRejectsBadBounds) {
+  auto& reg = MetricsRegistry::instance();
+  // Omitted bounds fall back to the default seconds buckets.
+  auto& d = reg.histogram("srsr.test.hist.defaulted");
+  EXPECT_EQ(d.bounds(), default_seconds_buckets());
+  EXPECT_THROW(reg.histogram("srsr.test.hist.unsorted", {2.0, 1.0}), Error);
+  EXPECT_THROW(reg.histogram("srsr.test.hist.dup", {1.0, 1.0}), Error);
+}
+
+TEST(ObsMetrics, NameValidation) {
+  auto& reg = MetricsRegistry::instance();
+  EXPECT_THROW(reg.counter("rank.iterations"), Error);   // missing prefix
+  EXPECT_THROW(reg.counter("srsr."), Error);             // empty remainder
+  EXPECT_THROW(reg.counter("srsr.rank."), Error);        // trailing dot
+  EXPECT_NO_THROW(reg.counter("srsr.test.names.ok"));
+}
+
+TEST(ObsMetrics, KindCollisionThrows) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("srsr.test.collide.a");
+  EXPECT_THROW(reg.gauge("srsr.test.collide.a"), Error);
+  EXPECT_THROW(reg.histogram("srsr.test.collide.a", {1.0}), Error);
+  reg.gauge("srsr.test.collide.b");
+  EXPECT_THROW(reg.counter("srsr.test.collide.b"), Error);
+}
+
+TEST(ObsMetrics, SameNameReturnsSameHandle) {
+  auto& reg = MetricsRegistry::instance();
+  auto& a = reg.counter("srsr.test.handle.stable");
+  auto& b = reg.counter("srsr.test.handle.stable");
+  EXPECT_EQ(&a, &b);
+  auto& h1 = reg.histogram("srsr.test.handle.hist", {1.0, 2.0});
+  // Later lookups ignore the bounds argument and return the original.
+  auto& h2 = reg.histogram("srsr.test.handle.hist", {5.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_EQ(h2.bounds().size(), 2u);
+}
+
+TEST(ObsMetrics, ConcurrentCountsAreExactParallelFor) {
+  MetricsEnabledGuard guard(true);
+  auto& reg = MetricsRegistry::instance();
+  auto& c = reg.counter("srsr.test.concurrent.pf");
+  auto& h = reg.histogram("srsr.test.concurrent.pf_hist", {0.5});
+  constexpr std::size_t kN = 100000;
+  parallel_for(0, kN, [&](std::size_t i) {
+    c.add();
+    h.observe(i % 2 == 0 ? 0.25 : 1.0);
+  });
+  EXPECT_EQ(c.value(), kN);
+  EXPECT_EQ(h.count(), kN);
+  const auto counts = h.counts();
+  EXPECT_EQ(counts[0], kN / 2);  // the 0.25 observations
+  EXPECT_EQ(counts[1], kN / 2);  // the 1.0 overflow observations
+}
+
+TEST(ObsMetrics, ConcurrentCountsAreExactStdThread) {
+  MetricsEnabledGuard guard(true);
+  auto& c = MetricsRegistry::instance().counter("srsr.test.concurrent.threads");
+  auto& g = MetricsRegistry::instance().gauge("srsr.test.concurrent.gsum");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 25000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        g.add(1.0);  // CAS-loop accumulate must not lose updates
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<u64>(kThreads) * kPerThread);
+  EXPECT_EQ(g.value(), static_cast<f64>(kThreads) * kPerThread);
+}
+
+TEST(ObsMetrics, SnapshotReflectsValues) {
+  MetricsEnabledGuard guard(true);
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("srsr.test.snap.count").add(7);
+  reg.gauge("srsr.test.snap.gauge").set(1.25);
+  reg.histogram("srsr.test.snap.hist", {1.0}).observe(0.5);
+  const auto snap = reg.snapshot();
+  EXPECT_FALSE(snap.empty());
+  bool saw_counter = false, saw_gauge = false, saw_hist = false;
+  for (const auto& [name, v] : snap.counters)
+    if (name == "srsr.test.snap.count") {
+      saw_counter = true;
+      EXPECT_EQ(v, 7u);
+    }
+  for (const auto& [name, v] : snap.gauges)
+    if (name == "srsr.test.snap.gauge") {
+      saw_gauge = true;
+      EXPECT_EQ(v, 1.25);
+    }
+  for (const auto& [name, h] : snap.histograms)
+    if (name == "srsr.test.snap.hist") {
+      saw_hist = true;
+      EXPECT_EQ(h.count, 1u);
+      ASSERT_EQ(h.counts.size(), 2u);
+      EXPECT_EQ(h.counts[0], 1u);
+    }
+  EXPECT_TRUE(saw_counter);
+  EXPECT_TRUE(saw_gauge);
+  EXPECT_TRUE(saw_hist);
+}
+
+TEST(ObsMetrics, SnapshotJsonIsWellFormedish) {
+  MetricsEnabledGuard guard(true);
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("srsr.test.json.count").add(3);
+  const std::string json = reg.snapshot_json();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"srsr.test.json.count\":3"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(ObsMetrics, ResetValuesZeroesButKeepsHandles) {
+  MetricsEnabledGuard guard(true);
+  auto& reg = MetricsRegistry::instance();
+  auto& c = reg.counter("srsr.test.reset.count");
+  auto& h = reg.histogram("srsr.test.reset.hist", {1.0});
+  c.add(9);
+  h.observe(0.5);
+  reg.reset_values();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0.0);
+  EXPECT_EQ(h.counts()[0], 0u);
+  c.add();  // handle still live and usable
+  EXPECT_EQ(c.value(), 1u);
+}
+
+}  // namespace
+}  // namespace srsr::obs

@@ -5,14 +5,21 @@
 //             Write a synthetic crawl as pages.txt / edges.txt /
 //             labels.txt (+ terms.txt with --terms).
 //   rank      --in DIR [--algo pagerank|sourcerank|srsr] [--top K]
-//             [--seeds FILE] [--alpha A]
+//             [--seeds FILE] [--alpha A] [--trace FILE]
 //             Rank a crawl directory and print the top-K sources.
+//             --trace additionally records per-stage wall times and the
+//             per-iteration residual series, and writes one RunReport
+//             JSON document (obs/report.hpp schema) to FILE.
 //   audit     --in DIR --seeds FILE [--topk K]
 //             Spam-proximity audit: print the K most spam-proximate
 //             sources with their throttle assignment.
 //   attack    --in DIR --target-source S --pages N [--cross C]
 //             Inject a link farm and report the rank movement of the
 //             target under PageRank and SRSR.
+//   stats     --in DIR [--alpha A] [--topk K] [--json]
+//             Run the full SRSR pipeline with telemetry enabled and
+//             print the run summary plus the metrics registry snapshot
+//             (--json emits the snapshot as JSON instead).
 //
 // The crawl directory format is the library's text interchange:
 //   pages.txt   "<page-id> <url>" per line
@@ -31,6 +38,10 @@
 #include "graph/io.hpp"
 #include "graph/webgen.hpp"
 #include "metrics/ranking.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/stage_timer.hpp"
+#include "obs/trace.hpp"
 #include "rank/pagerank.hpp"
 #include "spam/attacks.hpp"
 #include "util/log.hpp"
@@ -140,19 +151,33 @@ int cmd_generate(const Args& args) {
 }
 
 int cmd_rank(const Args& args) {
-  const auto crawl = load_crawl(args.require("in"));
-  const auto& corpus = crawl.corpus;
+  const std::string in_dir = args.require("in");
   const std::string algo = args.get("algo", "srsr");
   const u32 top = static_cast<u32>(args.get_u64("top", 10));
   const f64 alpha = args.get_f64("alpha", 0.85);
+  const std::string trace_path = args.get("trace", "");
+  const bool tracing = args.has("trace");
+  check(!tracing || !trace_path.empty(), "--trace needs a file path");
+  if (tracing) obs::set_metrics_enabled(true);
+
+  obs::RunReport report("rank");
+  obs::IterationTrace trace;
+
+  obs::StageTimer load_stage("cli.load_crawl", &report);
+  const auto crawl = load_crawl(in_dir);
+  load_stage.stop();
+  const auto& corpus = crawl.corpus;
 
   TextTable t({"#", "Host", "Score"});
-  std::vector<f64> scores;
+  rank::RankResult result;
   std::vector<std::string> names;
   if (algo == "pagerank") {
     rank::PageRankConfig cfg;
     cfg.alpha = alpha;
-    scores = rank::pagerank(corpus.pages, cfg).scores;
+    if (tracing) cfg.convergence.trace = &trace;
+    obs::StageTimer solve_stage("cli.solve", &report);
+    result = rank::pagerank(corpus.pages, cfg);
+    solve_stage.stop();
     for (NodeId p = 0; p < corpus.num_pages(); ++p)
       names.push_back(corpus.source_hosts[corpus.page_source[p]] + "/page" +
                       std::to_string(p));
@@ -161,20 +186,25 @@ int cmd_rank(const Args& args) {
     core::SrsrConfig cfg;
     cfg.alpha = alpha;
     cfg.throttle_mode = core::ThrottleMode::kTeleportDiscard;
+    if (tracing) cfg.convergence.trace = &trace;
+    obs::StageTimer build_stage("cli.build_model", &report);
     const core::SpamResilientSourceRank model(corpus.pages, map, cfg);
+    build_stage.stop();
+    obs::StageTimer solve_stage("cli.solve", &report);
     if (algo == "srsr" && !crawl.spam_seeds.empty()) {
       const u32 top_k = static_cast<u32>(
           args.get_u64("topk", 2 * crawl.spam_seeds.size()));
-      scores = model.rank_with_spam_seeds(crawl.spam_seeds, top_k)
-                   .ranking.scores;
+      result = model.rank_with_spam_seeds(crawl.spam_seeds, top_k).ranking;
     } else {
-      scores = model.rank_baseline().scores;
+      result = model.rank_baseline();
     }
+    solve_stage.stop();
     names = corpus.source_hosts;
   } else {
     std::cerr << "unknown --algo '" << algo << "'\n";
     return 2;
   }
+  const std::vector<f64>& scores = result.scores;
 
   const auto ranks = metrics::ranks_by_score(scores);
   std::vector<std::pair<u32, NodeId>> order;
@@ -186,6 +216,74 @@ int cmd_rank(const Args& args) {
                TextTable::sci(scores[id], 3)});
   }
   std::cout << t.render("Top " + std::to_string(top) + " by " + algo);
+
+  if (tracing) {
+    obs::SolverRun run;
+    run.solver = algo;
+    run.iterations = result.iterations;
+    run.residual = result.residual;
+    run.converged = result.converged;
+    run.seconds = result.seconds;
+    run.trace = result.trace;
+    report.set_meta("command", std::string("rank"));
+    report.set_meta("in", in_dir);
+    report.set_meta("algo", algo);
+    report.set_meta("alpha", alpha);
+    report.set_meta("nodes", static_cast<u64>(scores.size()));
+    report.set_solver(run);
+    report.set_trace(trace);
+    report.capture_metrics();
+    report.write(trace_path);
+    std::cout << "wrote run report to " << trace_path << '\n';
+  }
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  obs::set_metrics_enabled(true);
+  const std::string in_dir = args.require("in");
+  const f64 alpha = args.get_f64("alpha", 0.85);
+
+  const auto crawl = load_crawl(in_dir);
+  const auto& corpus = crawl.corpus;
+  const core::SourceMap map(corpus.page_source);
+  core::SrsrConfig cfg;
+  cfg.alpha = alpha;
+  cfg.throttle_mode = core::ThrottleMode::kTeleportDiscard;
+  obs::IterationTrace trace;
+  cfg.convergence.trace = &trace;
+  const core::SpamResilientSourceRank model(corpus.pages, map, cfg);
+
+  rank::RankResult result;
+  if (!crawl.spam_seeds.empty()) {
+    const u32 top_k = static_cast<u32>(
+        args.get_u64("topk", 2 * crawl.spam_seeds.size()));
+    result = model.rank_with_spam_seeds(crawl.spam_seeds, top_k).ranking;
+  } else {
+    result = model.rank_baseline();
+  }
+
+  if (args.has("json")) {
+    std::cout << obs::MetricsRegistry::instance().snapshot_json() << '\n';
+    return 0;
+  }
+  TextTable summary({"Field", "Value"});
+  summary.add_row({"sources", TextTable::num(corpus.num_sources())});
+  summary.add_row({"pages", TextTable::num(corpus.num_pages())});
+  summary.add_row({"iterations", TextTable::num(result.iterations)});
+  summary.add_row({"residual", TextTable::sci(result.residual, 3)});
+  summary.add_row({"converged", result.converged ? "yes" : "no"});
+  summary.add_row({"seconds", TextTable::fixed(result.seconds, 4)});
+  summary.add_row(
+      {"iterations/s", TextTable::fixed(result.iterations_per_second(), 1)});
+  summary.add_row(
+      {"first residual", TextTable::sci(result.trace.first_residual, 3)});
+  summary.add_row(
+      {"residual decay rate", TextTable::fixed(result.trace.decay_rate, 4)});
+  std::cout << summary.render("SRSR run summary (" + in_dir + ")");
+  std::cout << '\n'
+            << obs::MetricsRegistry::instance().snapshot_table().render(
+                   "Metrics registry snapshot");
   return 0;
 }
 
@@ -268,9 +366,10 @@ void usage() {
       "commands:\n"
       "  generate --out DIR [--sources N] [--spam N] [--seed S] [--terms]\n"
       "  rank     --in DIR [--algo pagerank|sourcerank|srsr] [--top K]\n"
-      "           [--alpha A] [--topk K]\n"
+      "           [--alpha A] [--topk K] [--trace FILE]\n"
       "  audit    --in DIR [--topk K]     (needs labels.txt)\n"
-      "  attack   --in DIR [--target-source S] [--pages N] [--cross C]\n";
+      "  attack   --in DIR [--target-source S] [--pages N] [--cross C]\n"
+      "  stats    --in DIR [--alpha A] [--topk K] [--json]\n";
 }
 
 }  // namespace
@@ -287,6 +386,7 @@ int main(int argc, char** argv) {
     if (cmd == "rank") return cmd_rank(args);
     if (cmd == "audit") return cmd_audit(args);
     if (cmd == "attack") return cmd_attack(args);
+    if (cmd == "stats") return cmd_stats(args);
     usage();
     return 2;
   } catch (const srsr::Error& e) {
