@@ -3,6 +3,10 @@
 // Each policy is fed the same spam-proximity scores; we report how far
 // down each pushes the planted spam (mean Fig. 5 bucket) and how much
 // legitimate outflow it destroys (collateral kappa mass on non-spam).
+//
+// One model serves every policy: model.rank(kappa) goes through the
+// lazy ThrottledView, so each policy costs an O(V) plan over the
+// model's cached transpose rather than an O(E) rebuild.
 #include "bench/common.hpp"
 #include "metrics/ranking.hpp"
 

@@ -4,7 +4,9 @@
 // self-absorbing reading floors throttled sources at the population
 // mean (they end up in the UPPER half of the ranking), the discard
 // reading sinks them to the bottom — only the latter reproduces the
-// paper's Fig. 5.
+// paper's Fig. 5. Both runs rank through the model's lazy
+// ThrottledView (mode-specific ThrottlePlan over one cached
+// transpose); no throttled matrix is materialized.
 #include "bench/common.hpp"
 #include "metrics/ranking.hpp"
 

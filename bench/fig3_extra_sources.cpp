@@ -9,36 +9,51 @@
 // The empirical column inverts the relationship with the production
 // solver: it measures the per-colluder score contribution at kappa'
 // (Sec. 4.2 optimal configuration) and reports how many kappa'-throttled
-// colluders deliver the contribution of one unthrottled colluder.
+// colluders deliver the contribution of one unthrottled colluder. The
+// kappa' sweep runs on the lazy throttle path: a colluder row at
+// throttle kappa, {(target, 1-kappa), (self, kappa)}, IS the
+// kSelfAbsorb throttle of the fixed row {(target, 1.0)} — so the base
+// system is built and transposed once and each kappa' is an O(V)
+// ThrottlePlan over a rank::ThrottledView.
 #include <vector>
 
 #include "analysis/closed_forms.hpp"
 #include "bench/common.hpp"
+#include "core/throttle.hpp"
+#include "rank/operator.hpp"
 #include "rank/solvers.hpp"
 
 namespace srsr::bench {
 namespace {
 
-/// Score contribution of `x` colluders at throttle kappa to an
-/// optimally-configured target, measured with the Jacobi solver on the
-/// idealized Sec. 4.2 system (everything relative to an isolated
-/// reference source so normalization cancels).
-f64 empirical_contribution(f64 alpha, u32 x, f64 kappa) {
-  const u32 n = x + 8;
+/// The fixed base system for `x` colluders: target source 0 is an
+/// optimally-configured pure self-loop, colluders 1..x point entirely
+/// at the target, the rest are isolated reference self-loops.
+rank::StochasticMatrix base_system(u32 x, u32 n) {
   std::vector<std::vector<std::pair<NodeId, f64>>> rows(n);
   rows[0] = {{0, 1.0}};
-  for (u32 c = 1; c <= x; ++c) {
-    if (kappa > 0.0)
-      rows[c] = {{0, 1.0 - kappa}, {c, kappa}};
-    else
-      rows[c] = {{0, 1.0}};
-  }
+  for (u32 c = 1; c <= x; ++c) rows[c] = {{0, 1.0}};
   for (u32 r = x + 1; r < n; ++r) rows[r] = {{r, 1.0}};
+  return rank::StochasticMatrix::from_rows(n, rows);
+}
+
+/// Score contribution of the colluders at throttle kappa, measured with
+/// the Jacobi solver through the ThrottledView (everything relative to
+/// an isolated reference source so normalization cancels).
+f64 empirical_contribution(const rank::StochasticMatrix& base,
+                           const rank::StochasticMatrix& base_t,
+                           const core::ThrottleRowStats& stats, f64 alpha,
+                           u32 x, f64 kappa) {
+  const u32 n = base.num_rows();
+  std::vector<f64> kv(n, 0.0);
+  for (u32 c = 1; c <= x; ++c) kv[c] = kappa;
+  const rank::ThrottledView view(
+      base, base_t,
+      core::make_throttle_plan(stats, kv, core::ThrottleMode::kSelfAbsorb));
   rank::SolverConfig sc;
   sc.alpha = alpha;
   sc.convergence = paper_convergence();
-  const auto res =
-      rank::jacobi_solve(rank::StochasticMatrix::from_rows(n, rows), sc);
+  const auto res = rank::jacobi_solve(view, sc);
   const f64 target_rel = res.scores[0] / res.scores[n - 1];
   // Subtract the colluder-free score of an optimal target.
   const f64 solo = analysis::optimal_single_source_score(alpha, n) /
@@ -53,11 +68,17 @@ void run() {
                    "empirical x'/x - 1"});
   const f64 alpha = kAlpha;
   const u32 x = 1;
-  const f64 base_contrib = empirical_contribution(alpha, x, 0.0);
+  const u32 n = x + 8;
+  const auto base = base_system(x, n);
+  const auto base_t = base.transpose();
+  const auto stats = core::ThrottleRowStats::of(base);
+  const f64 base_contrib =
+      empirical_contribution(base, base_t, stats, alpha, x, 0.0);
   for (const f64 kp : {0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9,
                        0.95, 0.99}) {
     const f64 ratio = analysis::extra_sources_ratio(alpha, 0.0, kp);
-    const f64 per_colluder = empirical_contribution(alpha, x, kp);
+    const f64 per_colluder =
+        empirical_contribution(base, base_t, stats, alpha, x, kp);
     const f64 empirical_ratio = base_contrib / per_colluder;
     table.add_row({
         TextTable::fixed(kp, 2),

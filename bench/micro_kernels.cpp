@@ -1,7 +1,13 @@
 // Kernel microbenchmarks (google-benchmark): the hot paths behind the
 // experiment harness — rank iterations, source-graph construction, the
-// throttle transform, and BV-style compression.
+// throttle transform, kappa sweeps (materialized vs lazy view), and
+// BV-style compression.
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
 
 #include "core/source_graph.hpp"
 #include "core/srsr.hpp"
@@ -10,11 +16,50 @@
 #include "graph/scc.hpp"
 #include "graph/transforms.hpp"
 #include "graph/webgen.hpp"
+#include "rank/operator.hpp"
 #include "rank/pagerank.hpp"
 #include "rank/gauss_seidel.hpp"
 #include "rank/push.hpp"
 #include "rank/solvers.hpp"
 #include "search/engine.hpp"
+
+// Allocation counter for the kappa-sweep benchmarks: every operator new
+// in the process is tallied so a benchmark can assert (via counters in
+// the JSON output) that the view path performs zero O(E)-sized
+// allocations per configuration. Relaxed atomics: the counters are only
+// read between benchmark phases.
+namespace alloc_counter {
+std::atomic<unsigned long long> count{0};
+std::atomic<unsigned long long> bytes{0};
+std::atomic<unsigned long long> large_count{0};
+// Allocations of at least this many bytes count as "large" (O(E)-scale;
+// set per benchmark from the matrix dimensions).
+std::atomic<unsigned long long> large_threshold{~0ULL};
+
+inline void reset() {
+  count.store(0, std::memory_order_relaxed);
+  bytes.store(0, std::memory_order_relaxed);
+  large_count.store(0, std::memory_order_relaxed);
+}
+}  // namespace alloc_counter
+
+namespace {
+void* counted_alloc(std::size_t n) {
+  alloc_counter::count.fetch_add(1, std::memory_order_relaxed);
+  alloc_counter::bytes.fetch_add(n, std::memory_order_relaxed);
+  if (n >= alloc_counter::large_threshold.load(std::memory_order_relaxed))
+    alloc_counter::large_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+}  // namespace
+
+void* operator new(std::size_t n) { return counted_alloc(n); }
+void* operator new[](std::size_t n) { return counted_alloc(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
 
 namespace srsr {
 namespace {
@@ -91,6 +136,140 @@ void BM_ThrottleTransform(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ThrottleTransform)->Unit(benchmark::kMillisecond);
+
+// --- Kappa sweep: materialized path vs lazy ThrottledView -----------
+//
+// The access pattern of every Sec. 6 experiment: one topology, many
+// kappa configurations. The *Setup benches isolate the per-config
+// preparation cost (materialize T'' + transpose vs an O(V) plan); the
+// *Sweep benches time a full 10-config solve sweep — each config
+// warm-started from the previous scores, the natural sweep idiom, the
+// same on both paths — and report items/s (configs ranked per second)
+// plus allocation counters (alloc_bytes_per_config, and large_allocs =
+// allocations of O(E) size — 0 on the view path after the first solve).
+
+constexpr int kSweepConfigs = 10;
+
+std::vector<std::vector<f64>> sweep_kappas(u32 sources) {
+  std::vector<std::vector<f64>> kappas;
+  for (int c = 0; c < kSweepConfigs; ++c) {
+    std::vector<f64> kappa(sources, 0.0);
+    for (u32 s = 0; s < sources; s += 3)
+      kappa[s] = static_cast<f64>(c) / kSweepConfigs;
+    kappas.push_back(std::move(kappa));
+  }
+  return kappas;
+}
+
+core::SpamResilientSourceRank& sweep_model() {
+  static const auto* map = new core::SourceMap(
+      core::SourceMap::from_corpus(corpus_of(2000)));
+  static auto* model = [] {
+    core::SrsrConfig cfg;
+    cfg.convergence.tolerance = 1e-9;
+    return new core::SpamResilientSourceRank(corpus_of(2000).pages, *map,
+                                             cfg);
+  }();
+  return *model;
+}
+
+unsigned long long large_threshold_of(const rank::StochasticMatrix& m) {
+  // An allocation is O(E)-scale when it is at least as big as the
+  // smallest O(E) array (the u32 column index array) AND clearly above
+  // any O(V) solver vector.
+  return std::max<unsigned long long>(m.num_entries() * sizeof(NodeId),
+                                      m.num_rows() * 2 * sizeof(f64));
+}
+
+void BM_ThrottleSetupMaterialized(benchmark::State& state) {
+  const auto& model = sweep_model();
+  const auto kappas = sweep_kappas(model.num_sources());
+  int c = 0;
+  for (auto _ : state) {
+    // What every configuration paid before the operator layer: an O(E)
+    // materialization followed by the solver's O(E) transpose.
+    const auto t2 = model.throttled_matrix(kappas[c % kSweepConfigs]);
+    const auto pull = t2.transpose();
+    benchmark::DoNotOptimize(pull.num_entries());
+    ++c;
+  }
+}
+BENCHMARK(BM_ThrottleSetupMaterialized)->Unit(benchmark::kMillisecond);
+
+void BM_ThrottleSetupView(benchmark::State& state) {
+  const auto& model = sweep_model();
+  const auto kappas = sweep_kappas(model.num_sources());
+  int c = 0;
+  for (auto _ : state) {
+    const auto view = model.throttled_view(kappas[c % kSweepConfigs]);
+    benchmark::DoNotOptimize(view.plan().off_scale.data());
+    ++c;
+  }
+}
+BENCHMARK(BM_ThrottleSetupView)->Unit(benchmark::kMillisecond);
+
+void BM_KappaSweepMaterialized(benchmark::State& state) {
+  const auto& model = sweep_model();
+  const auto kappas = sweep_kappas(model.num_sources());
+  rank::SolverConfig sc;
+  sc.alpha = model.config().alpha;
+  sc.convergence = model.config().convergence;
+  // Warm solve, then count allocations over the timed sweeps.
+  sc.initial = rank::gauss_seidel_solve(model.throttled_matrix(kappas[0]), sc).scores;
+  alloc_counter::large_threshold.store(
+      large_threshold_of(model.base_matrix()), std::memory_order_relaxed);
+  alloc_counter::reset();
+  u64 solves = 0;
+  for (auto _ : state) {
+    for (const auto& kappa : kappas) {
+      const auto r = rank::gauss_seidel_solve(model.throttled_matrix(kappa), sc);
+      benchmark::DoNotOptimize(r.scores.data());
+      sc.initial = r.scores;
+      ++solves;
+    }
+  }
+  // items/s in the JSON = configurations ranked per second; its inverse
+  // is the per-configuration wall time.
+  state.SetItemsProcessed(static_cast<int64_t>(solves));
+  const f64 per = static_cast<f64>(solves ? solves : 1);
+  state.counters["alloc_bytes_per_config"] =
+      static_cast<f64>(alloc_counter::bytes.load()) / per;
+  state.counters["large_allocs_per_config"] =
+      static_cast<f64>(alloc_counter::large_count.load()) / per;
+  alloc_counter::large_threshold.store(~0ULL, std::memory_order_relaxed);
+}
+BENCHMARK(BM_KappaSweepMaterialized)->Unit(benchmark::kMillisecond);
+
+void BM_KappaSweepView(benchmark::State& state) {
+  const auto& model = sweep_model();
+  const auto kappas = sweep_kappas(model.num_sources());
+  rank::SolverConfig sc;
+  sc.alpha = model.config().alpha;
+  sc.convergence = model.config().convergence;
+  // First solve (warm caches), then assert the sweep itself never
+  // touches an O(E) allocation again.
+  sc.initial = rank::gauss_seidel_solve(model.throttled_view(kappas[0]), sc).scores;
+  alloc_counter::large_threshold.store(
+      large_threshold_of(model.base_matrix()), std::memory_order_relaxed);
+  alloc_counter::reset();
+  u64 solves = 0;
+  for (auto _ : state) {
+    for (const auto& kappa : kappas) {
+      const auto r = rank::gauss_seidel_solve(model.throttled_view(kappa), sc);
+      benchmark::DoNotOptimize(r.scores.data());
+      sc.initial = r.scores;
+      ++solves;
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(solves));
+  const f64 per = static_cast<f64>(solves ? solves : 1);
+  state.counters["alloc_bytes_per_config"] =
+      static_cast<f64>(alloc_counter::bytes.load()) / per;
+  state.counters["large_allocs_per_config"] =
+      static_cast<f64>(alloc_counter::large_count.load()) / per;
+  alloc_counter::large_threshold.store(~0ULL, std::memory_order_relaxed);
+}
+BENCHMARK(BM_KappaSweepView)->Unit(benchmark::kMillisecond);
 
 void BM_SrsrEndToEnd(benchmark::State& state) {
   const auto& corpus = corpus_of(2000);

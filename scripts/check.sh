@@ -1,18 +1,19 @@
 #!/usr/bin/env bash
-# Tier-1 check: configure, build, and run the full ctest suite.
+# Tier-1 check: configure, build, and run the full ctest suite, then
+# build build-tsan/ with -DSRSR_SANITIZE=thread and run the
+# concurrency-sensitive rank + obs suites (ctest label "tsan") under it.
 #
-#   scripts/check.sh            # the tier-1 gate (build/ tree)
-#   scripts/check.sh --tsan     # additionally build build-tsan/ with
-#                               # -DSRSR_SANITIZE=thread and run the
-#                               # observability tests under it
+#   scripts/check.sh            # full gate: build/ suite + tsan pass
+#   scripts/check.sh --no-tsan  # skip the ThreadSanitizer pass
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-run_tsan=0
+run_tsan=1
 for arg in "$@"; do
   case "$arg" in
-    --tsan) run_tsan=1 ;;
-    *) echo "usage: scripts/check.sh [--tsan]" >&2; exit 2 ;;
+    --tsan) run_tsan=1 ;;  # legacy spelling; tsan is now the default
+    --no-tsan) run_tsan=0 ;;
+    *) echo "usage: scripts/check.sh [--no-tsan]" >&2; exit 2 ;;
   esac
 done
 
@@ -22,9 +23,10 @@ ctest --test-dir build --output-on-failure -j "$(nproc)"
 
 if [[ "$run_tsan" -eq 1 ]]; then
   # OpenMP is auto-disabled under TSan (uninstrumented libgomp); the
-  # obs tests re-create the concurrency with plain std::thread.
+  # "tsan"-labeled rank/obs tests re-create the concurrency with plain
+  # std::thread so the shared-state reads stay instrumented.
   cmake -B build-tsan -S . -DSRSR_SANITIZE=thread \
     -DSRSR_BUILD_BENCH=OFF -DSRSR_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j
-  ctest --test-dir build-tsan --output-on-failure -R '^Obs'
+  ctest --test-dir build-tsan --output-on-failure -L tsan -j "$(nproc)"
 fi

@@ -20,35 +20,54 @@ SpamResilientSourceRank::SpamResilientSourceRank(const graph::Graph& pages,
                                                  const SourceMap& map,
                                                  SrsrConfig config)
     : config_(config), source_graph_(build_source_graph(pages, map)) {
-  obs::StageTimer stage("core.base_matrix_build");
-  base_matrix_ = config_.weighting == EdgeWeighting::kConsensus
-                     ? source_graph_.consensus_matrix(config_.self_edges)
-                     : source_graph_.uniform_matrix(config_.self_edges);
+  {
+    obs::StageTimer stage("core.base_matrix_build");
+    base_matrix_ = config_.weighting == EdgeWeighting::kConsensus
+                       ? source_graph_.consensus_matrix(config_.self_edges)
+                       : source_graph_.uniform_matrix(config_.self_edges);
+  }
+  // The one O(E) transpose of the model's lifetime: every kappa
+  // configuration afterwards is an O(V) plan over it.
+  base_transpose_ = base_matrix_.transpose();
+  row_stats_ = ThrottleRowStats::of(base_matrix_);
 }
 
 rank::StochasticMatrix SpamResilientSourceRank::throttled_matrix(
     std::span<const f64> kappa) const {
   obs::StageTimer stage("core.throttle_transform");
-  return apply_throttle(base_matrix_, kappa, config_.throttle_mode);
+  return materialize_throttled(
+      base_matrix_, make_throttle_plan(row_stats_, kappa,
+                                       config_.throttle_mode));
+}
+
+rank::ThrottledView SpamResilientSourceRank::throttled_view(
+    std::span<const f64> kappa) const {
+  obs::StageTimer stage("core.throttle_plan");
+  return rank::ThrottledView(
+      base_matrix_, base_transpose_,
+      make_throttle_plan(row_stats_, kappa, config_.throttle_mode));
 }
 
 rank::RankResult SpamResilientSourceRank::solve(
-    const rank::StochasticMatrix& matrix) const {
+    const rank::TransitionOperator& op) const {
   obs::StageTimer stage("core.solve");
   rank::SolverConfig sc;
   sc.alpha = config_.alpha;
   sc.convergence = config_.convergence;
-  return config_.solver == SolverKind::kPower ? rank::power_solve(matrix, sc)
-                                              : rank::jacobi_solve(matrix, sc);
+  return config_.solver == SolverKind::kPower ? rank::power_solve(op, sc)
+                                              : rank::jacobi_solve(op, sc);
 }
 
 rank::RankResult SpamResilientSourceRank::rank(
     std::span<const f64> kappa) const {
-  return solve(throttled_matrix(kappa));
+  return solve(throttled_view(kappa));
 }
 
 rank::RankResult SpamResilientSourceRank::rank_baseline() const {
-  return solve(base_matrix_);
+  // Through the same view path as rank() with kappa = 0, so the two are
+  // bitwise identical (the KappaZeroEqualsBaseline contract).
+  const std::vector<f64> zeros(num_sources(), 0.0);
+  return rank(zeros);
 }
 
 SpamResilientSourceRank::ThrottledRanking

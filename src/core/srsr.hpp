@@ -11,7 +11,11 @@
 // The class binds to one page graph + source map, precomputes the
 // source graph, and then ranks cheaply under different throttling
 // vectors — the access pattern of every experiment in Sec. 6 (one
-// topology, many kappa configurations).
+// topology, many kappa configurations). "Cheaply" is structural: the
+// base matrix is transposed ONCE at construction and every kappa is
+// ranked through a rank::ThrottledView (an O(V) ThrottlePlan over the
+// cached transpose), so a sweep never re-materializes or re-transposes
+// an O(E) matrix.
 #pragma once
 
 #include <span>
@@ -62,8 +66,21 @@ class SpamResilientSourceRank {
   /// The weighted source matrix before throttling (T or T').
   const rank::StochasticMatrix& base_matrix() const { return base_matrix_; }
 
-  /// The influence-throttled matrix T'' for a given kappa.
+  /// The cached transpose of base_matrix() (built once at construction;
+  /// what every rank() call iterates).
+  const rank::StochasticMatrix& base_transpose() const {
+    return base_transpose_;
+  }
+
+  /// The influence-throttled matrix T'' for a given kappa, materialized
+  /// (diagnostics/tests; rank() never calls this).
   rank::StochasticMatrix throttled_matrix(std::span<const f64> kappa) const;
+
+  /// The lazy T'' operator for a given kappa: an O(V) plan over the
+  /// cached transpose. The view borrows this model's matrices — it must
+  /// not outlive the model. Call again (or reset_plan) per kappa; each
+  /// call costs O(V), not O(E).
+  rank::ThrottledView throttled_view(std::span<const f64> kappa) const;
 
   /// Ranks sources under the given throttling vector.
   rank::RankResult rank(std::span<const f64> kappa) const;
@@ -85,11 +102,13 @@ class SpamResilientSourceRank {
       const SpamProximityConfig& proximity_config = {}) const;
 
  private:
-  rank::RankResult solve(const rank::StochasticMatrix& matrix) const;
+  rank::RankResult solve(const rank::TransitionOperator& op) const;
 
   SrsrConfig config_;
   SourceGraph source_graph_;
   rank::StochasticMatrix base_matrix_;
+  rank::StochasticMatrix base_transpose_;  // transpose of base_matrix_
+  ThrottleRowStats row_stats_;             // kappa-independent row sums
 };
 
 }  // namespace srsr::core

@@ -4,14 +4,82 @@
 
 namespace srsr::core {
 
-rank::StochasticMatrix apply_throttle(const rank::StochasticMatrix& tprime,
-                                      std::span<const f64> kappa,
-                                      ThrottleMode mode) {
-  const bool discard = mode == ThrottleMode::kTeleportDiscard;
+ThrottleRowStats ThrottleRowStats::of(const rank::StochasticMatrix& tprime) {
   const NodeId n = tprime.num_rows();
+  ThrottleRowStats stats;
+  stats.self.assign(n, 0.0);
+  stats.off.assign(n, 0.0);
+  stats.empty.assign(n, 0);
+  for (NodeId r = 0; r < n; ++r) {
+    const auto cs = tprime.row_cols(r);
+    const auto ws = tprime.row_weights(r);
+    if (cs.empty()) {
+      stats.empty[r] = 1;
+      continue;
+    }
+    for (std::size_t i = 0; i < cs.size(); ++i)
+      (cs[i] == r ? stats.self[r] : stats.off[r]) += ws[i];
+  }
+  return stats;
+}
+
+rank::RowAffinePlan make_throttle_plan(const ThrottleRowStats& stats,
+                                       std::span<const f64> kappa,
+                                       ThrottleMode mode) {
+  const bool discard = mode == ThrottleMode::kTeleportDiscard;
+  const NodeId n = stats.num_rows();
   check(kappa.size() == n, "apply_throttle: kappa size mismatch");
   for (const f64 k : kappa)
     check(k >= 0.0 && k <= 1.0, "apply_throttle: kappa must be in [0,1]");
+
+  rank::RowAffinePlan plan;
+  plan.off_scale.assign(n, 0.0);
+  plan.diagonal.assign(n, 0.0);
+  plan.deficit.assign(n, 0.0);
+
+  for (NodeId r = 0; r < n; ++r) {
+    const f64 k = kappa[r];
+    const f64 self = stats.self[r];
+    const f64 off = stats.off[r];
+    f64& scale = plan.off_scale[r];
+    f64& diag = plan.diagonal[r];
+
+    if (stats.empty[r]) {
+      // Dangling row: in absorb mode the mandated self-mass has nowhere
+      // else to go (pure self-loop); in discard mode it evaporates.
+      if (k > 0.0 && !discard) diag = 1.0;
+    } else if (discard) {
+      // Surrender exactly k of the row's mass: self-edge first, then
+      // out-edges. new_self = max(0, self - k); the off-diagonal budget
+      // is whatever of (1 - k) remains after new_self, which for a
+      // stochastic row is min(off, 1 - k). The max(0, .) clamp mirrors
+      // the materializing path dropping negative-scaled entries when an
+      // already-substochastic input row cannot cover the budget.
+      const f64 new_self = self > k ? self - k : 0.0;
+      const f64 off_budget = std::min(1.0 - k - new_self, off);
+      scale = off > 0.0 ? std::max(0.0, off_budget) / off : 0.0;
+      diag = new_self;
+    } else if (self >= k) {
+      // Floor already met: row passes through unchanged.
+      scale = 1.0;
+      diag = self;
+    } else {
+      // Mandate kappa self-mass and rescale the rest to (1 - kappa).
+      scale = off > 0.0 ? (1.0 - k) / off : 0.0;
+      diag = k;
+    }
+
+    const f64 deficit = 1.0 - diag - scale * off;
+    plan.deficit[r] = deficit > 0.0 ? deficit : 0.0;
+  }
+  return plan;
+}
+
+rank::StochasticMatrix materialize_throttled(
+    const rank::StochasticMatrix& tprime, const rank::RowAffinePlan& plan) {
+  const NodeId n = tprime.num_rows();
+  check(plan.off_scale.size() == n && plan.diagonal.size() == n,
+        "materialize_throttled: plan size mismatch");
 
   std::vector<u64> offsets(static_cast<std::size_t>(n) + 1, 0);
   std::vector<NodeId> cols;
@@ -22,67 +90,15 @@ rank::StochasticMatrix apply_throttle(const rank::StochasticMatrix& tprime,
   for (NodeId r = 0; r < n; ++r) {
     const auto cs = tprime.row_cols(r);
     const auto ws = tprime.row_weights(r);
-    const f64 k = kappa[r];
+    const f64 scale = plan.off_scale[r];
+    const f64 diag = plan.diagonal[r];
 
-    f64 self = 0.0;
-    f64 off = 0.0;
-    for (std::size_t i = 0; i < cs.size(); ++i)
-      (cs[i] == r ? self : off) += ws[i];
-
-    if (cs.empty()) {
-      // Dangling row: in absorb mode the mandated self-mass has nowhere
-      // else to go; in discard mode it evaporates (stays dangling).
-      if (k > 0.0 && !discard) {
-        cols.push_back(r);
-        weights.push_back(1.0);
-      }
-      offsets[r + 1] = cols.size();
-      continue;
-    }
-
-    if (discard) {
-      // Surrender exactly k of the row's mass: self-edge first, then
-      // out-edges. new_self = max(0, self - k); the off-diagonal budget
-      // is whatever of (1 - k) remains after new_self, which for a
-      // stochastic row is min(off, 1 - k).
-      const f64 new_self = self > k ? self - k : 0.0;
-      // Clamp so an already-substochastic input row never gains mass.
-      const f64 off_budget = std::min(1.0 - k - new_self, off);
-      const f64 scale = off > 0.0 ? off_budget / off : 0.0;
-      for (std::size_t i = 0; i < cs.size(); ++i) {
-        const f64 w = cs[i] == r ? (ws[i] / (self > 0.0 ? self : 1.0)) * new_self
-                                 : ws[i] * scale;
-        if (w > 0.0) {
-          cols.push_back(cs[i]);
-          weights.push_back(w);
-        }
-      }
-      offsets[r + 1] = cols.size();
-      continue;
-    }
-
-    if (self >= k) {
-      // Floor already met: row passes through unchanged.
-      for (std::size_t i = 0; i < cs.size(); ++i) {
-        cols.push_back(cs[i]);
-        weights.push_back(ws[i]);
-      }
-      offsets[r + 1] = cols.size();
-      continue;
-    }
-
-    // Mandate kappa self-mass and rescale the rest to (1 - kappa).
-    // off > 0 is guaranteed here: self < k <= 1 and the row sums to 1.
-    // In discard mode the mandated self entry is omitted — the row is
-    // left substochastic (sum 1 - kappa) and the power solver routes
-    // the deficit to the teleport distribution.
-    const f64 scale = off > 0.0 ? (1.0 - k) / off : 0.0;
-    bool self_written = discard;
+    bool self_written = diag <= 0.0;  // zero diagonals are not stored
     for (std::size_t i = 0; i < cs.size(); ++i) {
       if (cs[i] == r) {
-        if (!discard) {
+        if (diag > 0.0 && !self_written) {
           cols.push_back(r);
-          weights.push_back(k);
+          weights.push_back(diag);
         }
         self_written = true;
         continue;
@@ -91,7 +107,7 @@ rank::StochasticMatrix apply_throttle(const rank::StochasticMatrix& tprime,
         // The input row had no explicit self entry; splice it in to
         // keep columns sorted.
         cols.push_back(r);
-        weights.push_back(k);
+        weights.push_back(diag);
         self_written = true;
       }
       const f64 w = ws[i] * scale;
@@ -102,12 +118,20 @@ rank::StochasticMatrix apply_throttle(const rank::StochasticMatrix& tprime,
     }
     if (!self_written) {
       cols.push_back(r);
-      weights.push_back(k);
+      weights.push_back(diag);
     }
     offsets[r + 1] = cols.size();
   }
   return rank::StochasticMatrix(std::move(offsets), std::move(cols),
                                 std::move(weights));
+}
+
+rank::StochasticMatrix apply_throttle(const rank::StochasticMatrix& tprime,
+                                      std::span<const f64> kappa,
+                                      ThrottleMode mode) {
+  const ThrottleRowStats stats = ThrottleRowStats::of(tprime);
+  return materialize_throttled(tprime,
+                               make_throttle_plan(stats, kappa, mode));
 }
 
 std::vector<f64> self_weights(const rank::StochasticMatrix& m) {

@@ -44,10 +44,21 @@
 //                      source. Use for the Sec. 6 experiments
 //                      (Figs. 5-7); an ablation bench contrasts the
 //                      two.
+// LAZY PATH (the ThrottlePlan): because the transform is per-row affine
+// — a self-weight override plus a uniform off-diagonal rescale — T''
+// never needs materializing. `ThrottleRowStats::of` takes one O(E) pass
+// over T' (kappa-independent, reusable across a sweep), and
+// `make_throttle_plan` turns stats + kappa + mode into a
+// rank::RowAffinePlan in O(V). A rank::ThrottledView over the
+// transposed T' then serves T'' entries on the fly, so sweeping kappa
+// configurations costs an O(V) plan build each instead of two O(E)
+// copies. `apply_throttle` remains as the materializing path and is
+// itself implemented as plan + `materialize_throttled`.
 #pragma once
 
 #include <span>
 
+#include "rank/operator.hpp"
 #include "rank/stochastic.hpp"
 #include "util/common.hpp"
 
@@ -58,11 +69,42 @@ enum class ThrottleMode {
   kTeleportDiscard,  // mandated self-mass surrendered to teleport
 };
 
+/// Kappa-independent per-row summary of T' — everything the throttle
+/// row math needs, gathered in one O(E) pass.
+struct ThrottleRowStats {
+  std::vector<f64> self;  // T'_ii (sum of self entries; 0 when absent)
+  std::vector<f64> off;   // sum of off-diagonal weights
+  // 1 when the row has no entries at all. Distinct from self+off == 0:
+  // a row of explicit zero-weight entries is NOT dangling for the
+  // absorb transform (it gets the spliced kappa self-edge, not the
+  // pure self-loop).
+  std::vector<u8> empty;
+
+  static ThrottleRowStats of(const rank::StochasticMatrix& tprime);
+
+  NodeId num_rows() const { return static_cast<NodeId>(self.size()); }
+};
+
+/// The throttle row math for one kappa configuration, as an O(V)
+/// RowAffinePlan over T' (see the mode table above and DESIGN.md).
+/// `kappa` must have one entry per row, each in [0,1].
+rank::RowAffinePlan make_throttle_plan(const ThrottleRowStats& stats,
+                                       std::span<const f64> kappa,
+                                       ThrottleMode mode);
+
+/// Materializes plan ∘ tprime as a concrete matrix: off-diagonal
+/// entries scaled by off_scale[r], the diagonal overridden (spliced in
+/// column order when the base row lacks a self entry). Zero-weight
+/// results are dropped from the sparsity pattern.
+rank::StochasticMatrix materialize_throttled(
+    const rank::StochasticMatrix& tprime, const rank::RowAffinePlan& plan);
+
 /// Applies the influence-throttling transform. `kappa` must have one
 /// entry per row, each in [0,1]. The input should normally be a
 /// consensus matrix built with self-edge augmentation (so the self
 /// entry exists); rows without a self entry are handled as if the self
-/// entry were present with weight 0.
+/// entry were present with weight 0. Equivalent to
+/// `materialize_throttled(tprime, make_throttle_plan(...))`.
 rank::StochasticMatrix apply_throttle(
     const rank::StochasticMatrix& tprime, std::span<const f64> kappa,
     ThrottleMode mode = ThrottleMode::kSelfAbsorb);

@@ -5,11 +5,11 @@
 
 namespace srsr::rank {
 
-RankResult gauss_seidel_solve(const StochasticMatrix& matrix,
+RankResult gauss_seidel_solve(const TransitionOperator& op,
                               const SolverConfig& config) {
   check(config.alpha >= 0.0 && config.alpha < 1.0,
         "gauss_seidel: alpha must be in [0, 1)");
-  const NodeId n = matrix.num_rows();
+  const NodeId n = op.num_rows();
   RankResult result;
   if (n == 0) {
     result.converged = true;
@@ -32,17 +32,7 @@ RankResult gauss_seidel_solve(const StochasticMatrix& matrix,
     teleport.assign(n, 1.0 / static_cast<f64>(n));
   }
 
-  const StochasticMatrix pull = matrix.transpose();
   const f64 alpha = config.alpha;
-
-  // Per-row self weights (for the implicit diagonal solve).
-  std::vector<f64> self(n, 0.0);
-  for (NodeId v = 0; v < n; ++v) {
-    const auto cs = pull.row_cols(v);
-    const auto ws = pull.row_weights(v);
-    for (std::size_t i = 0; i < cs.size(); ++i)
-      if (cs[i] == v) self[v] += ws[i];
-  }
 
   std::vector<f64> x(n, 1.0 / static_cast<f64>(n));
   if (config.initial) {
@@ -63,12 +53,8 @@ RankResult gauss_seidel_solve(const StochasticMatrix& matrix,
   for (u32 iter = 0; iter < config.convergence.max_iterations; ++iter) {
     prev = x;
     for (NodeId v = 0; v < n; ++v) {
-      const auto cs = pull.row_cols(v);
-      const auto ws = pull.row_weights(v);
-      f64 acc = 0.0;
-      for (std::size_t i = 0; i < cs.size(); ++i)
-        if (cs[i] != v) acc += x[cs[i]] * ws[i];
-      const f64 denom = 1.0 - alpha * self[v];
+      const f64 acc = op.pull_off_diagonal(v, x);
+      const f64 denom = 1.0 - alpha * op.diagonal(v);
       x[v] = (alpha * acc + (1.0 - alpha) * teleport[v]) / denom;
     }
     result.iterations = iter + 1;
@@ -98,6 +84,12 @@ RankResult gauss_seidel_solve(const StochasticMatrix& matrix,
     reg.histogram("srsr.rank.gauss_seidel.seconds").observe(result.seconds);
   }
   return result;
+}
+
+RankResult gauss_seidel_solve(const StochasticMatrix& matrix,
+                              const SolverConfig& config) {
+  const MatrixOperator op(matrix);
+  return gauss_seidel_solve(op, config);
 }
 
 }  // namespace srsr::rank

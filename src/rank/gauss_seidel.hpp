@@ -26,4 +26,9 @@ namespace srsr::rank {
 RankResult gauss_seidel_solve(const StochasticMatrix& matrix,
                               const SolverConfig& config);
 
+/// Operator form: sweeps via pull_off_diagonal() / diagonal(), so a
+/// ThrottledView runs without materializing the throttled matrix.
+RankResult gauss_seidel_solve(const TransitionOperator& op,
+                              const SolverConfig& config);
+
 }  // namespace srsr::rank

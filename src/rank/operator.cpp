@@ -1,0 +1,148 @@
+#include "rank/operator.hpp"
+
+#include "util/parallel.hpp"
+
+namespace srsr::rank {
+
+MatrixOperator::MatrixOperator(const StochasticMatrix& matrix)
+    : matrix_(&matrix),
+      pull_(matrix.transpose()),
+      deficits_(matrix.row_deficits()) {}
+
+void MatrixOperator::pull(std::span<const f64> x, std::span<f64> y) const {
+  const NodeId n = num_rows();
+  check(x.size() == n && y.size() == n, "MatrixOperator::pull: size mismatch");
+  parallel_for(0, n, [&](std::size_t v) {
+    const auto cs = pull_.row_cols(static_cast<NodeId>(v));
+    const auto ws = pull_.row_weights(static_cast<NodeId>(v));
+    f64 acc = 0.0;
+    for (std::size_t i = 0; i < cs.size(); ++i) acc += x[cs[i]] * ws[i];
+    y[v] = acc;
+  });
+}
+
+f64 MatrixOperator::pull_off_diagonal(NodeId v, std::span<const f64> x) const {
+  const auto cs = pull_.row_cols(v);
+  const auto ws = pull_.row_weights(v);
+  f64 acc = 0.0;
+  for (std::size_t i = 0; i < cs.size(); ++i)
+    if (cs[i] != v) acc += x[cs[i]] * ws[i];
+  return acc;
+}
+
+f64 MatrixOperator::diagonal(NodeId v) const {
+  if (!diag_built_) {
+    diag_.assign(num_rows(), 0.0);
+    for (NodeId r = 0; r < num_rows(); ++r) {
+      const auto cs = pull_.row_cols(r);
+      const auto ws = pull_.row_weights(r);
+      for (std::size_t i = 0; i < cs.size(); ++i)
+        if (cs[i] == r) diag_[r] += ws[i];
+    }
+    diag_built_ = true;
+  }
+  return diag_[v];
+}
+
+OperatorRow MatrixOperator::row(NodeId u, std::vector<NodeId>&,
+                                std::vector<f64>&) const {
+  return {matrix_->row_cols(u), matrix_->row_weights(u)};
+}
+
+ThrottledView::ThrottledView(const StochasticMatrix& base,
+                             const StochasticMatrix& transpose,
+                             RowAffinePlan plan)
+    : base_(&base), pull_(&transpose) {
+  check(transpose.num_rows() == base.num_rows() &&
+            transpose.num_entries() == base.num_entries(),
+        "ThrottledView: transpose does not match the base matrix");
+  reset_plan(std::move(plan));
+}
+
+void ThrottledView::reset_plan(RowAffinePlan plan) {
+  const std::size_t n = base_->num_rows();
+  check(plan.off_scale.size() == n && plan.diagonal.size() == n &&
+            plan.deficit.size() == n,
+        "ThrottledView: plan size mismatch");
+  plan_ = std::move(plan);
+}
+
+void ThrottledView::pull(std::span<const f64> x, std::span<f64> y) const {
+  const NodeId n = num_rows();
+  check(x.size() == n && y.size() == n, "ThrottledView::pull: size mismatch");
+  const f64* const scale = plan_.off_scale.data();
+  const f64* const diag = plan_.diagonal.data();
+  parallel_for(0, n, [&](std::size_t v) {
+    const auto cs = pull_->row_cols(static_cast<NodeId>(v));
+    const auto ws = pull_->row_weights(static_cast<NodeId>(v));
+    f64 acc = 0.0;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      const NodeId u = cs[i];
+      // Off-diagonal entries of origin row u are rescaled by scale[u];
+      // the diagonal is overridden wholesale below (it may exist even
+      // where the base pattern has no self entry).
+      if (u != static_cast<NodeId>(v)) acc += x[u] * scale[u] * ws[i];
+    }
+    y[v] = acc + x[v] * diag[v];
+  });
+}
+
+f64 ThrottledView::pull_off_diagonal(NodeId v, std::span<const f64> x) const {
+  const auto cs = pull_->row_cols(v);
+  const auto ws = pull_->row_weights(v);
+  const f64* const scale = plan_.off_scale.data();
+  f64 acc = 0.0;
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const NodeId u = cs[i];
+    if (u != v) acc += x[u] * scale[u] * ws[i];
+  }
+  return acc;
+}
+
+OperatorRow ThrottledView::row(NodeId u, std::vector<NodeId>& cols_scratch,
+                               std::vector<f64>& weights_scratch) const {
+  const auto cs = base_->row_cols(u);
+  const auto ws = base_->row_weights(u);
+  const f64 scale = plan_.off_scale[u];
+  const f64 diag = plan_.diagonal[u];
+
+  bool has_self = false;
+  for (const NodeId c : cs)
+    if (c == u) {
+      has_self = true;
+      break;
+    }
+
+  weights_scratch.clear();
+  if (has_self || diag == 0.0) {
+    // The base pattern already covers the diagonal (or there is none):
+    // reuse the base column span and compute weights in place.
+    weights_scratch.reserve(cs.size());
+    for (std::size_t i = 0; i < cs.size(); ++i)
+      weights_scratch.push_back(cs[i] == u ? diag : ws[i] * scale);
+    return {cs, weights_scratch};
+  }
+
+  // Diagonal override on a row with no self entry (absorb-mode splice):
+  // build the column list too, keeping sorted rows sorted.
+  cols_scratch.clear();
+  cols_scratch.reserve(cs.size() + 1);
+  weights_scratch.reserve(cs.size() + 1);
+  bool self_written = false;
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    if (!self_written && cs[i] > u) {
+      cols_scratch.push_back(u);
+      weights_scratch.push_back(diag);
+      self_written = true;
+    }
+    cols_scratch.push_back(cs[i]);
+    weights_scratch.push_back(ws[i] * scale);
+  }
+  if (!self_written) {
+    cols_scratch.push_back(u);
+    weights_scratch.push_back(diag);
+  }
+  return {cols_scratch, weights_scratch};
+}
+
+}  // namespace srsr::rank

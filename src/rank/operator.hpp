@@ -1,0 +1,160 @@
+// TransitionOperator: the abstraction the iterative solvers consume.
+//
+// The solvers never needed a concrete matrix — they need four access
+// patterns over one:
+//
+//   pull(x, y)               y = A^T x, the hot kernel of the power and
+//                            Jacobi routes (parallel across rows);
+//   pull_off_diagonal(v, x)  the Gauss-Seidel inner step (serial);
+//   diagonal(v)              A_vv, for the implicit Gauss-Seidel solve;
+//   row(u, ...)              forward row access, for residual push.
+//
+// Two implementations:
+//
+//   MatrixOperator  — wraps a materialized StochasticMatrix; transposes
+//                     it once at construction. This is exactly the old
+//                     per-solve behavior, factored out.
+//   ThrottledView   — the lazy throttle operator. Holds the transposed
+//                     base matrix T' (built ONCE by the caller) plus a
+//                     RowAffinePlan of three O(V) vectors; entries of
+//                     T'' = throttle(T', kappa) are computed on the fly
+//                     as off_scale[r] * T'_rc with the diagonal
+//                     overridden. Sweeping kappa configurations then
+//                     costs an O(V) plan build per configuration
+//                     instead of two O(E) copies (materialize +
+//                     transpose).
+//
+// A ThrottledView is immutable after construction and safe to share
+// across threads for concurrent pull()/row() calls (lock-free reads of
+// const CSR arrays; the tsan suite pins this).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "rank/stochastic.hpp"
+#include "util/common.hpp"
+
+namespace srsr::rank {
+
+/// Per-row affine reweighting of a base matrix B:
+///
+///   A_rc = off_scale[r] * B_rc   (c != r)
+///   A_rr = diagonal[r]           (regardless of whether B_rr exists)
+///
+/// `deficit[r]` caches max(0, 1 - row sum of A) so the power solver
+/// needs no O(E) pass. Produced for the throttle transform by
+/// core::make_throttle_plan; any per-row affine reweighting fits.
+struct RowAffinePlan {
+  std::vector<f64> off_scale;
+  std::vector<f64> diagonal;
+  std::vector<f64> deficit;
+};
+
+/// One forward row of an operator. Spans either alias the operator's
+/// own storage or the scratch buffers passed to row(); they are valid
+/// until the next call that reuses those buffers.
+struct OperatorRow {
+  std::span<const NodeId> cols;
+  std::span<const f64> weights;
+};
+
+class TransitionOperator {
+ public:
+  virtual ~TransitionOperator() = default;
+
+  virtual NodeId num_rows() const = 0;
+  /// Entries in the underlying sparsity pattern (reporting only).
+  virtual u64 num_entries() const = 0;
+
+  /// Per-row probability deficits max(0, 1 - row_sum): the mass the
+  /// power solver re-routes to the teleport distribution.
+  virtual const std::vector<f64>& deficits() const = 0;
+
+  /// y_v = sum_u x_u * A_uv for every v (pull form). Parallel across
+  /// destination rows; x and y must both have num_rows() entries and
+  /// must not alias.
+  virtual void pull(std::span<const f64> x, std::span<f64> y) const = 0;
+
+  /// sum_{u != v} x_u * A_uv — the Gauss-Seidel off-diagonal pull for
+  /// one destination row (serial by nature).
+  virtual f64 pull_off_diagonal(NodeId v, std::span<const f64> x) const = 0;
+
+  /// A_vv.
+  virtual f64 diagonal(NodeId v) const = 0;
+
+  /// Forward row u of A. Implementations may fill the scratch buffers
+  /// (the view computes weights on the fly) or return spans straight
+  /// into their own storage (the matrix wrapper copies nothing).
+  virtual OperatorRow row(NodeId u, std::vector<NodeId>& cols_scratch,
+                          std::vector<f64>& weights_scratch) const = 0;
+
+  virtual u64 memory_bytes() const = 0;
+};
+
+/// Today's behavior, factored out: wraps a materialized matrix and
+/// transposes it once at construction. The wrapped matrix must outlive
+/// the operator.
+class MatrixOperator final : public TransitionOperator {
+ public:
+  explicit MatrixOperator(const StochasticMatrix& matrix);
+
+  NodeId num_rows() const override { return matrix_->num_rows(); }
+  u64 num_entries() const override { return matrix_->num_entries(); }
+  const std::vector<f64>& deficits() const override { return deficits_; }
+  void pull(std::span<const f64> x, std::span<f64> y) const override;
+  f64 pull_off_diagonal(NodeId v, std::span<const f64> x) const override;
+  f64 diagonal(NodeId v) const override;
+  OperatorRow row(NodeId u, std::vector<NodeId>& cols_scratch,
+                  std::vector<f64>& weights_scratch) const override;
+  u64 memory_bytes() const override {
+    return pull_.memory_bytes() + deficits_.size() * sizeof(f64);
+  }
+
+ private:
+  const StochasticMatrix* matrix_;
+  StochasticMatrix pull_;  // transpose of *matrix_
+  std::vector<f64> deficits_;
+  // Diagonal extracted lazily — only the Gauss-Seidel route needs it.
+  // Not synchronized: first use must come from a single thread (every
+  // solver driver runs its setup single-threaded).
+  mutable std::vector<f64> diag_;
+  mutable bool diag_built_ = false;
+};
+
+/// The lazy throttle operator: T'' entries computed on read from the
+/// transposed T' plus the per-row plan. Both matrices must outlive the
+/// view; `transpose` must be `base.transpose()`.
+class ThrottledView final : public TransitionOperator {
+ public:
+  ThrottledView(const StochasticMatrix& base,
+                const StochasticMatrix& transpose, RowAffinePlan plan);
+
+  /// Swaps in the next kappa configuration's plan — O(1) beyond the
+  /// O(V) plan the caller already built.
+  void reset_plan(RowAffinePlan plan);
+
+  const RowAffinePlan& plan() const { return plan_; }
+
+  NodeId num_rows() const override { return base_->num_rows(); }
+  u64 num_entries() const override { return base_->num_entries(); }
+  const std::vector<f64>& deficits() const override { return plan_.deficit; }
+  void pull(std::span<const f64> x, std::span<f64> y) const override;
+  f64 pull_off_diagonal(NodeId v, std::span<const f64> x) const override;
+  f64 diagonal(NodeId v) const override { return plan_.diagonal[v]; }
+  OperatorRow row(NodeId u, std::vector<NodeId>& cols_scratch,
+                  std::vector<f64>& weights_scratch) const override;
+  /// Only the plan is owned; the CSR arrays belong to the caller.
+  u64 memory_bytes() const override {
+    return (plan_.off_scale.size() + plan_.diagonal.size() +
+            plan_.deficit.size()) *
+           sizeof(f64);
+  }
+
+ private:
+  const StochasticMatrix* base_;
+  const StochasticMatrix* pull_;  // transpose of *base_
+  RowAffinePlan plan_;
+};
+
+}  // namespace srsr::rank

@@ -34,6 +34,7 @@
 #include <vector>
 
 #include "obs/trace.hpp"
+#include "rank/operator.hpp"
 #include "rank/stochastic.hpp"
 #include "util/common.hpp"
 
@@ -77,6 +78,13 @@ PushResult push_solve(const StochasticMatrix& matrix,
 /// convergence.
 PushResult push_update(const StochasticMatrix& matrix,
                        const PushConfig& config,
+                       std::span<const f64> old_scores);
+
+/// Operator forms: push along forward rows served by row() (a
+/// ThrottledView computes throttled weights on the fly; the matrix
+/// overloads above stay on direct CSR spans and never transpose).
+PushResult push_solve(const TransitionOperator& op, const PushConfig& config);
+PushResult push_update(const TransitionOperator& op, const PushConfig& config,
                        std::span<const f64> old_scores);
 
 }  // namespace srsr::rank

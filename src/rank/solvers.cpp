@@ -23,16 +23,17 @@ std::vector<f64> make_teleport(const SolverConfig& config, NodeId n) {
   return out;
 }
 
-/// Shared pull-iteration driver. `complete_deficits` selects the Markov
-/// completion (power method: per-row probability deficits — dangling
-/// rows and throttle-discarded mass — are re-routed to the teleport
-/// distribution) vs the raw linear form (Jacobi: deficit mass simply
-/// evaporates and the final normalization absorbs it).
-RankResult iterate(const StochasticMatrix& matrix, const SolverConfig& config,
+/// Shared pull-iteration driver over an abstract operator.
+/// `complete_deficits` selects the Markov completion (power method:
+/// per-row probability deficits — dangling rows and throttle-discarded
+/// mass — are re-routed to the teleport distribution) vs the raw linear
+/// form (Jacobi: deficit mass simply evaporates and the final
+/// normalization absorbs it).
+RankResult iterate(const TransitionOperator& op, const SolverConfig& config,
                    bool complete_deficits, const char* solver_name) {
   check(config.alpha >= 0.0 && config.alpha < 1.0,
         "solver: alpha must be in [0, 1)");
-  const NodeId n = matrix.num_rows();
+  const NodeId n = op.num_rows();
   RankResult result;
   if (n == 0) {
     result.converged = true;
@@ -41,8 +42,7 @@ RankResult iterate(const StochasticMatrix& matrix, const SolverConfig& config,
   WallTimer timer;
 
   const std::vector<f64> teleport = make_teleport(config, n);
-  const StochasticMatrix pull = matrix.transpose();
-  const std::vector<f64> deficits = matrix.row_deficits();
+  const std::vector<f64>& deficits = op.deficits();
   const f64 alpha = config.alpha;
 
   std::vector<f64> cur = [&] {
@@ -70,12 +70,9 @@ RankResult iterate(const StochasticMatrix& matrix, const SolverConfig& config,
           0, n, [&](std::size_t r) { return cur[r] * deficits[r]; });
     }
 
+    op.pull(cur, next);
     parallel_for(0, n, [&](std::size_t v) {
-      const auto cs = pull.row_cols(static_cast<NodeId>(v));
-      const auto ws = pull.row_weights(static_cast<NodeId>(v));
-      f64 acc = 0.0;
-      for (std::size_t i = 0; i < cs.size(); ++i) acc += cur[cs[i]] * ws[i];
-      next[v] = alpha * (acc + deficit_mass * teleport[v]) +
+      next[v] = alpha * (next[v] + deficit_mass * teleport[v]) +
                 (1.0 - alpha) * teleport[v];
     });
 
@@ -117,12 +114,24 @@ RankResult iterate(const StochasticMatrix& matrix, const SolverConfig& config,
 
 RankResult power_solve(const StochasticMatrix& matrix,
                        const SolverConfig& config) {
-  return iterate(matrix, config, /*complete_deficits=*/true, "power");
+  const MatrixOperator op(matrix);
+  return iterate(op, config, /*complete_deficits=*/true, "power");
 }
 
 RankResult jacobi_solve(const StochasticMatrix& matrix,
                         const SolverConfig& config) {
-  return iterate(matrix, config, /*complete_deficits=*/false, "jacobi");
+  const MatrixOperator op(matrix);
+  return iterate(op, config, /*complete_deficits=*/false, "jacobi");
+}
+
+RankResult power_solve(const TransitionOperator& op,
+                       const SolverConfig& config) {
+  return iterate(op, config, /*complete_deficits=*/true, "power");
+}
+
+RankResult jacobi_solve(const TransitionOperator& op,
+                        const SolverConfig& config) {
+  return iterate(op, config, /*complete_deficits=*/false, "jacobi");
 }
 
 }  // namespace srsr::rank

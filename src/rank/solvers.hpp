@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "rank/convergence.hpp"
+#include "rank/operator.hpp"
 #include "rank/result.hpp"
 #include "rank/stochastic.hpp"
 
@@ -44,6 +45,14 @@ RankResult power_solve(const StochasticMatrix& matrix,
 
 /// Jacobi iteration on the linear form, then L1 normalization.
 RankResult jacobi_solve(const StochasticMatrix& matrix,
+                        const SolverConfig& config);
+
+/// Operator forms: iterate an abstract TransitionOperator (e.g. a
+/// ThrottledView) instead of transposing a materialized matrix per
+/// solve. The matrix overloads above are thin wrappers over these.
+RankResult power_solve(const TransitionOperator& op,
+                       const SolverConfig& config);
+RankResult jacobi_solve(const TransitionOperator& op,
                         const SolverConfig& config);
 
 }  // namespace srsr::rank

@@ -1,13 +1,18 @@
 #include "rank/stochastic.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "obs/stage_timer.hpp"
+#include "util/parallel.hpp"
 
 namespace srsr::rank {
 
 namespace {
 constexpr f64 kRowSumTolerance = 1e-9;
+// Below this many entries the per-chunk bookkeeping of the parallel
+// transpose costs more than it saves.
+constexpr u64 kParallelTransposeMinEntries = u64{1} << 17;
 }
 
 StochasticMatrix::StochasticMatrix(std::vector<u64> offsets,
@@ -26,6 +31,16 @@ StochasticMatrix::StochasticMatrix(std::vector<u64> offsets,
   check(!offsets_.empty() && offsets_.front() == 0 &&
             offsets_.back() == cols_.size() && cols_.size() == weights_.size(),
         "StochasticMatrix: inconsistent CSR arrays");
+  // Sortedness detection (one cheap pass): weight() binary-searches
+  // sorted rows, scans unsorted ones.
+  for (NodeId r = 0; r < num_rows() && rows_sorted_; ++r) {
+    for (u64 i = offsets_[r] + 1; i < offsets_[r + 1]; ++i) {
+      if (cols_[i] <= cols_[i - 1]) {
+        rows_sorted_ = false;
+        break;
+      }
+    }
+  }
   if (skip_validation) return;
   const NodeId n = num_rows();
   for (NodeId r = 0; r < n; ++r) {
@@ -85,6 +100,12 @@ f64 StochasticMatrix::weight(NodeId r, NodeId c) const {
         "StochasticMatrix::weight: index out of range");
   const auto cs = row_cols(r);
   const auto ws = row_weights(r);
+  if (rows_sorted_) {
+    const auto it = std::lower_bound(cs.begin(), cs.end(), c);
+    if (it != cs.end() && *it == c)
+      return ws[static_cast<std::size_t>(it - cs.begin())];
+    return 0.0;
+  }
   for (std::size_t i = 0; i < cs.size(); ++i)
     if (cs[i] == c) return ws[i];
   return 0.0;
@@ -131,18 +152,66 @@ StochasticMatrix StochasticMatrix::transpose() const {
   obs::StageTimer stage("rank.transpose");
   const NodeId n = num_rows();
   std::vector<u64> offsets(static_cast<std::size_t>(n) + 1, 0);
-  for (const NodeId c : cols_) ++offsets[c + 1];
-  for (std::size_t i = 1; i < offsets.size(); ++i) offsets[i] += offsets[i - 1];
   std::vector<NodeId> cols(cols_.size());
   std::vector<f64> weights(weights_.size());
-  std::vector<u64> cursor(offsets.begin(), offsets.end() - 1);
-  for (NodeId r = 0; r < n; ++r) {
-    for (u64 i = offsets_[r]; i < offsets_[r + 1]; ++i) {
-      const u64 slot = cursor[cols_[i]]++;
-      cols[slot] = r;
-      weights[slot] = weights_[i];
+
+  if (num_entries() < kParallelTransposeMinEntries || num_threads() <= 1) {
+    for (const NodeId c : cols_) ++offsets[c + 1];
+    for (std::size_t i = 1; i < offsets.size(); ++i)
+      offsets[i] += offsets[i - 1];
+    std::vector<u64> cursor(offsets.begin(), offsets.end() - 1);
+    for (NodeId r = 0; r < n; ++r) {
+      for (u64 i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+        const u64 slot = cursor[cols_[i]]++;
+        cols[slot] = r;
+        weights[slot] = weights_[i];
+      }
     }
+  } else {
+    // Parallel path, same output as the serial one: split the rows into
+    // chunks, count each chunk's columns independently, then lay the
+    // chunks out in order inside every destination row via a serial
+    // prefix pass. Entries of a transposed row stay ordered by source
+    // row, so the result is deterministic and every row comes out
+    // sorted.
+    const std::size_t chunks =
+        std::min<std::size_t>(num_threads(), 1 + num_entries() / 65536);
+    const NodeId rows_per_chunk =
+        static_cast<NodeId>((n + chunks - 1) / chunks);
+    // counts[ch * n + col]: entries of chunk ch landing in column col;
+    // rewritten in place to that chunk's write cursor for the column.
+    std::vector<u64> counts(chunks * static_cast<std::size_t>(n), 0);
+    parallel_for(0, chunks, [&](std::size_t ch) {
+      u64* const mine = counts.data() + ch * static_cast<std::size_t>(n);
+      const NodeId lo = static_cast<NodeId>(ch) * rows_per_chunk;
+      const NodeId hi = std::min<NodeId>(n, lo + rows_per_chunk);
+      for (u64 i = offsets_[lo]; i < offsets_[hi]; ++i) ++mine[cols_[i]];
+    });
+    u64 running = 0;
+    for (NodeId col = 0; col < n; ++col) {
+      offsets[col] = running;
+      for (std::size_t ch = 0; ch < chunks; ++ch) {
+        u64& slot = counts[ch * static_cast<std::size_t>(n) + col];
+        const u64 cnt = slot;
+        slot = running;
+        running += cnt;
+      }
+    }
+    offsets[n] = running;
+    parallel_for(0, chunks, [&](std::size_t ch) {
+      u64* const cursor = counts.data() + ch * static_cast<std::size_t>(n);
+      const NodeId lo = static_cast<NodeId>(ch) * rows_per_chunk;
+      const NodeId hi = std::min<NodeId>(n, lo + rows_per_chunk);
+      for (NodeId r = lo; r < hi; ++r) {
+        for (u64 i = offsets_[r]; i < offsets_[r + 1]; ++i) {
+          const u64 slot = cursor[cols_[i]]++;
+          cols[slot] = r;
+          weights[slot] = weights_[i];
+        }
+      }
+    });
   }
+
   // The transpose of a stochastic matrix is generally not stochastic;
   // bypass row-sum validation.
   return StochasticMatrix(std::move(offsets), std::move(cols),

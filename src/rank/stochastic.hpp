@@ -50,8 +50,19 @@ class StochasticMatrix {
     return {weights_.data() + offsets_[r], weights_.data() + offsets_[r + 1]};
   }
 
-  /// Weight of entry (r, c), or 0 when absent. O(row length).
+  /// Weight of entry (r, c), or 0 when absent. When every row has its
+  /// columns in ascending order (detected once at construction — true
+  /// for matrices built from Graph CSR, transpose(), and the throttle
+  /// transform) the lookup binary-searches in O(log row length);
+  /// otherwise it falls back to a linear scan. Rows with duplicate
+  /// columns return the first match on the sorted path and the sum is
+  /// NOT taken on either path — rows are expected to have distinct
+  /// columns (the from_rows contract).
   f64 weight(NodeId r, NodeId c) const;
+
+  /// True when every row's columns are strictly ascending (the sorted
+  /// contract weight() fast-paths on).
+  bool rows_sorted() const { return rows_sorted_; }
 
   f64 row_sum(NodeId r) const;
   bool is_dangling_row(NodeId r) const { return offsets_[r] == offsets_[r + 1]; }
@@ -65,6 +76,10 @@ class StochasticMatrix {
   void left_multiply(std::span<const f64> x, std::span<f64> y) const;
 
   /// Transposed copy (entries (r,c,w) -> (c,r,w)), used by pull solvers.
+  /// Large matrices transpose in parallel (per-chunk column counting +
+  /// prefix sum + chunk-cursor scatter); the output is identical to the
+  /// serial path — each transposed row's entries are ordered by source
+  /// row, so results stay deterministic and rows come out sorted.
   StochasticMatrix transpose() const;
 
   u64 memory_bytes() const {
@@ -79,6 +94,7 @@ class StochasticMatrix {
   std::vector<u64> offsets_;
   std::vector<NodeId> cols_;
   std::vector<f64> weights_;
+  bool rows_sorted_ = true;
 };
 
 }  // namespace srsr::rank

@@ -1,6 +1,6 @@
 # End-to-end smoke test of the srsr_cli tool: generate -> rank -> audit
-# -> attack over a temp crawl directory. Any non-zero exit or missing
-# output fails the test.
+# -> attack -> sweep over a temp crawl directory. Any non-zero exit or
+# missing output fails the test.
 if(NOT DEFINED CLI)
   message(FATAL_ERROR "pass -DCLI=<path-to-srsr_cli>")
 endif()
@@ -85,6 +85,21 @@ endif()
 run_cli(attack --in "${DIR}" --target-source 42 --pages 50)
 if(NOT CLI_OUTPUT MATCHES "PageRank percentile")
   message(FATAL_ERROR "attack output malformed:\n${CLI_OUTPUT}")
+endif()
+
+# sweep: one model, several kappa configurations through the lazy view.
+run_cli(sweep --in "${DIR}" --configs 4 --mode discard)
+if(NOT CLI_OUTPUT MATCHES "Kappa sweep \\(4 configs")
+  message(FATAL_ERROR "sweep output malformed:\n${CLI_OUTPUT}")
+endif()
+if(NOT CLI_OUTPUT MATCHES "1\\.00")
+  message(FATAL_ERROR "sweep should reach full throttle strength:\n${CLI_OUTPUT}")
+endif()
+run_cli(sweep --in "${DIR}" --configs 2 --mode absorb)
+execute_process(COMMAND "${CLI}" sweep --in "${DIR}" --mode bogus
+                RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)
+if(rc EQUAL 0)
+  message(FATAL_ERROR "sweep with an unknown --mode should fail")
 endif()
 
 # Error paths must exit non-zero, not crash.

@@ -1,0 +1,204 @@
+// Tests for the TransitionOperator layer (rank/operator.hpp):
+// MatrixOperator must reproduce the matrix it wraps, ThrottledView must
+// reproduce the per-row affine reweighting it encodes, and concurrent
+// reads of a shared view must be race-free (this suite runs under the
+// tsan preset).
+#include "rank/operator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "rank/gauss_seidel.hpp"
+#include "rank/push.hpp"
+#include "rank/solvers.hpp"
+
+namespace srsr::rank {
+namespace {
+
+// Row 0: self 0.2 + out-edges; rows 1-2: pure self-loops.
+StochasticMatrix sample() {
+  return StochasticMatrix({0, 3, 4, 5}, {0, 1, 2, 1, 2},
+                          {0.2, 0.5, 0.3, 1.0, 1.0});
+}
+
+// A_rc = off_scale[r]*B_rc (c != r), A_rr = diagonal[r]; dense
+// reference evaluation for small matrices.
+f64 plan_entry(const StochasticMatrix& base, const RowAffinePlan& plan,
+               NodeId r, NodeId c) {
+  if (r == c) return plan.diagonal[r];
+  return plan.off_scale[r] * base.weight(r, c);
+}
+
+TEST(MatrixOperator, PullMatchesLeftMultiply) {
+  const auto m = sample();
+  const MatrixOperator op(m);
+  EXPECT_EQ(op.num_rows(), m.num_rows());
+  EXPECT_EQ(op.num_entries(), m.num_entries());
+  const std::vector<f64> x{0.5, 0.3, 0.2};
+  std::vector<f64> want(3, 0.0);
+  m.left_multiply(x, want);
+  std::vector<f64> got(3, 0.0);
+  op.pull(x, got);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_NEAR(got[v], want[v], 1e-15);
+}
+
+TEST(MatrixOperator, DiagonalAndOffDiagonalSplitThePull) {
+  const auto m = sample();
+  const MatrixOperator op(m);
+  const std::vector<f64> x{0.5, 0.3, 0.2};
+  std::vector<f64> full(3, 0.0);
+  op.pull(x, full);
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_NEAR(op.pull_off_diagonal(v, x) + x[v] * op.diagonal(v), full[v],
+                1e-15);
+    EXPECT_DOUBLE_EQ(op.diagonal(v), m.weight(v, v));
+  }
+}
+
+TEST(MatrixOperator, RowReturnsDirectSpans) {
+  const auto m = sample();
+  const MatrixOperator op(m);
+  std::vector<NodeId> cols_scratch;
+  std::vector<f64> weights_scratch;
+  const OperatorRow row = op.row(0, cols_scratch, weights_scratch);
+  ASSERT_EQ(row.cols.size(), 3u);
+  EXPECT_EQ(row.cols.data(), m.row_cols(0).data());  // no copy
+  EXPECT_TRUE(cols_scratch.empty());
+}
+
+TEST(MatrixOperator, DeficitsMatchMatrix) {
+  const StochasticMatrix m({0, 1, 1}, {1}, {0.4});
+  const MatrixOperator op(m);
+  EXPECT_NEAR(op.deficits()[0], 0.6, 1e-15);
+  EXPECT_NEAR(op.deficits()[1], 1.0, 1e-15);
+}
+
+RowAffinePlan half_plan() {
+  // Row 0 throttled to diag 0.5 with off-edges rescaled by 0.625
+  // (= (1-0.5)/0.8); rows 1-2 untouched pure self-loops.
+  RowAffinePlan plan;
+  plan.off_scale = {0.625, 1.0, 1.0};
+  plan.diagonal = {0.5, 1.0, 1.0};
+  plan.deficit = {0.0, 0.0, 0.0};
+  return plan;
+}
+
+TEST(ThrottledView, PullMatchesDenseReference) {
+  const auto base = sample();
+  const auto t = base.transpose();
+  const ThrottledView view(base, t, half_plan());
+  const std::vector<f64> x{0.5, 0.3, 0.2};
+  std::vector<f64> got(3, 0.0);
+  view.pull(x, got);
+  for (NodeId v = 0; v < 3; ++v) {
+    f64 want = 0.0;
+    for (NodeId u = 0; u < 3; ++u)
+      want += x[u] * plan_entry(base, view.plan(), u, v);
+    EXPECT_NEAR(got[v], want, 1e-15);
+    EXPECT_NEAR(view.pull_off_diagonal(v, x) + x[v] * view.diagonal(v),
+                got[v], 1e-15);
+  }
+}
+
+TEST(ThrottledView, RowOverridesDiagonalInPlace) {
+  const auto base = sample();
+  const auto t = base.transpose();
+  const ThrottledView view(base, t, half_plan());
+  std::vector<NodeId> cols_scratch;
+  std::vector<f64> weights_scratch;
+  const OperatorRow row = view.row(0, cols_scratch, weights_scratch);
+  ASSERT_EQ(row.cols.size(), 3u);
+  EXPECT_EQ(row.cols[0], 0u);
+  EXPECT_DOUBLE_EQ(row.weights[0], 0.5);           // overridden diagonal
+  EXPECT_DOUBLE_EQ(row.weights[1], 0.5 * 0.625);   // rescaled
+  EXPECT_DOUBLE_EQ(row.weights[2], 0.3 * 0.625);
+}
+
+TEST(ThrottledView, RowSplicesMissingDiagonalKeepingColumnsSorted) {
+  // Row 0 has no self entry; a nonzero diagonal must be spliced first.
+  const StochasticMatrix base({0, 1, 3}, {1, 0, 1}, {1.0, 0.5, 0.5});
+  const auto t = base.transpose();
+  RowAffinePlan plan;
+  plan.off_scale = {0.5, 1.0};
+  plan.diagonal = {0.5, 0.0};
+  plan.deficit = {0.0, 0.0};
+  const ThrottledView view(base, t, std::move(plan));
+  std::vector<NodeId> cols_scratch;
+  std::vector<f64> weights_scratch;
+  const OperatorRow row = view.row(0, cols_scratch, weights_scratch);
+  ASSERT_EQ(row.cols.size(), 2u);
+  EXPECT_EQ(row.cols[0], 0u);
+  EXPECT_EQ(row.cols[1], 1u);
+  EXPECT_DOUBLE_EQ(row.weights[0], 0.5);
+  EXPECT_DOUBLE_EQ(row.weights[1], 0.5);
+}
+
+TEST(ThrottledView, ResetPlanSwapsConfigurations) {
+  const auto base = sample();
+  const auto t = base.transpose();
+  ThrottledView view(base, t, half_plan());
+  EXPECT_DOUBLE_EQ(view.diagonal(0), 0.5);
+  RowAffinePlan identity;
+  identity.off_scale = {1.0, 1.0, 1.0};
+  identity.diagonal = {0.2, 1.0, 1.0};
+  identity.deficit = {0.0, 0.0, 0.0};
+  view.reset_plan(std::move(identity));
+  EXPECT_DOUBLE_EQ(view.diagonal(0), 0.2);
+  const std::vector<f64> x{0.5, 0.3, 0.2};
+  std::vector<f64> via_view(3, 0.0);
+  view.pull(x, via_view);
+  std::vector<f64> via_base(3, 0.0);
+  base.left_multiply(x, via_base);
+  for (NodeId v = 0; v < 3; ++v)
+    EXPECT_NEAR(via_view[v], via_base[v], 1e-15);
+}
+
+TEST(ThrottledView, SolversAcceptTheOperatorForm) {
+  const auto base = sample();
+  const auto t = base.transpose();
+  const ThrottledView view(base, t, half_plan());
+  SolverConfig sc;
+  sc.convergence.tolerance = 1e-13;
+  const RankResult power = power_solve(view, sc);
+  EXPECT_TRUE(power.converged);
+  const RankResult gs = gauss_seidel_solve(view, sc);
+  EXPECT_TRUE(gs.converged);
+  PushConfig pc;
+  pc.epsilon = 1e-14;
+  const PushResult push = push_solve(view, pc);
+  EXPECT_TRUE(push.converged);
+  // All three solve the same system up to deficit handling; this plan
+  // has none, so the vectors agree.
+  for (NodeId v = 0; v < 3; ++v) {
+    EXPECT_NEAR(power.scores[v], gs.scores[v], 1e-8);
+    EXPECT_NEAR(power.scores[v], push.scores[v], 1e-8);
+  }
+}
+
+// tsan target: a shared view must serve concurrent pulls without
+// synchronization (all state is const after construction). std::thread
+// rather than OpenMP so the race checker instruments the threads.
+TEST(ThrottledView, ConcurrentPullsAreRaceFree) {
+  const auto base = sample();
+  const auto t = base.transpose();
+  const ThrottledView view(base, t, half_plan());
+  const std::vector<f64> x{0.5, 0.3, 0.2};
+  std::vector<f64> first(3, 0.0);
+  view.pull(x, first);
+
+  std::vector<std::vector<f64>> outs(4, std::vector<f64>(3, 0.0));
+  std::vector<std::thread> workers;
+  workers.reserve(outs.size());
+  for (auto& out : outs)
+    workers.emplace_back([&view, &x, &out] {
+      for (int rep = 0; rep < 100; ++rep) view.pull(x, out);
+    });
+  for (auto& w : workers) w.join();
+  for (const auto& out : outs)
+    for (NodeId v = 0; v < 3; ++v) EXPECT_DOUBLE_EQ(out[v], first[v]);
+}
+
+}  // namespace
+}  // namespace srsr::rank

@@ -127,6 +127,55 @@ TEST(Transpose, DoubleTransposeIsIdentity) {
   }
 }
 
+TEST(Weight, SortedRowsBinarySearchAndUnsortedFallbackAgree) {
+  // Sorted rows (Graph CSR order) take the binary-search path...
+  const StochasticMatrix sorted({0, 3, 4, 4, 4}, {0, 2, 3, 1},
+                                {0.1, 0.4, 0.5, 1.0});
+  EXPECT_TRUE(sorted.rows_sorted());
+  EXPECT_DOUBLE_EQ(sorted.weight(0, 0), 0.1);
+  EXPECT_DOUBLE_EQ(sorted.weight(0, 2), 0.4);
+  EXPECT_DOUBLE_EQ(sorted.weight(0, 3), 0.5);
+  EXPECT_DOUBLE_EQ(sorted.weight(0, 1), 0.0);  // absent, inside range
+  EXPECT_DOUBLE_EQ(sorted.weight(1, 1), 1.0);
+  // ...while out-of-order rows are detected and linearly scanned.
+  const StochasticMatrix unsorted({0, 3, 4, 4, 4}, {3, 0, 2, 1},
+                                  {0.5, 0.1, 0.4, 1.0});
+  EXPECT_FALSE(unsorted.rows_sorted());
+  for (NodeId c = 0; c < 4; ++c)
+    EXPECT_DOUBLE_EQ(unsorted.weight(0, c), sorted.weight(0, c));
+}
+
+TEST(Transpose, ParallelPathMatchesSerialReference) {
+  // Large enough to cross the parallel-transpose threshold (2^17
+  // entries).
+  Pcg32 rng(97);
+  const auto g = graph::erdos_renyi(1500, 0.08, rng);
+  const auto m = StochasticMatrix::uniform_from_graph(g);
+  ASSERT_GT(m.num_entries(), u64{1} << 17);
+  const auto t = m.transpose();
+  EXPECT_TRUE(t.rows_sorted());
+
+  // Serial reference: counting sort by destination column.
+  const NodeId n = m.num_rows();
+  std::vector<std::vector<std::pair<NodeId, f64>>> ref(n);
+  for (NodeId r = 0; r < n; ++r) {
+    const auto cs = m.row_cols(r);
+    const auto ws = m.row_weights(r);
+    for (std::size_t i = 0; i < cs.size(); ++i)
+      ref[cs[i]].emplace_back(r, ws[i]);
+  }
+  ASSERT_EQ(t.num_entries(), m.num_entries());
+  for (NodeId r = 0; r < n; ++r) {
+    const auto cs = t.row_cols(r);
+    const auto ws = t.row_weights(r);
+    ASSERT_EQ(cs.size(), ref[r].size());
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      EXPECT_EQ(cs[i], ref[r][i].first);
+      EXPECT_EQ(ws[i], ref[r][i].second);  // bitwise: same entry moved
+    }
+  }
+}
+
 // Property: uniform matrices from random graphs are row-stochastic on
 // non-dangling rows.
 class StochasticProperty : public ::testing::TestWithParam<u64> {};

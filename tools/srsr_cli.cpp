@@ -20,6 +20,13 @@
 //             Run the full SRSR pipeline with telemetry enabled and
 //             print the run summary plus the metrics registry snapshot
 //             (--json emits the snapshot as JSON instead).
+//   sweep     --in DIR [--configs N] [--alpha A] [--mode absorb|discard]
+//             Build the model ONCE and rank N kappa configurations of
+//             increasing throttle strength through the lazy
+//             ThrottledView (O(V) plan per configuration over the
+//             model's cached transpose); print per-configuration plan +
+//             solve wall times. With labels.txt the ramp throttles the
+//             spam-proximate sources; without it, every source.
 //
 // The crawl directory format is the library's text interchange:
 //   pages.txt   "<page-id> <url>" per line
@@ -47,6 +54,7 @@
 #include "util/log.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
@@ -287,6 +295,61 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+int cmd_sweep(const Args& args) {
+  const std::string in_dir = args.require("in");
+  const f64 alpha = args.get_f64("alpha", 0.85);
+  const u32 configs =
+      static_cast<u32>(std::max<u64>(1, args.get_u64("configs", 5)));
+  const std::string mode_name = args.get("mode", "discard");
+  check(mode_name == "absorb" || mode_name == "discard",
+        "--mode must be absorb or discard");
+
+  const auto crawl = load_crawl(in_dir);
+  const auto& corpus = crawl.corpus;
+  const core::SourceMap map(corpus.page_source);
+  core::SrsrConfig cfg;
+  cfg.alpha = alpha;
+  cfg.throttle_mode = mode_name == "absorb"
+                          ? core::ThrottleMode::kSelfAbsorb
+                          : core::ThrottleMode::kTeleportDiscard;
+
+  WallTimer build_timer;
+  const core::SpamResilientSourceRank model(corpus.pages, map, cfg);
+  const f64 build_seconds = build_timer.seconds();
+
+  // Ramp target: the spam-proximate sources when labels exist,
+  // otherwise every source.
+  std::vector<f64> weight(corpus.num_sources(), 1.0);
+  if (!crawl.spam_seeds.empty()) {
+    const auto prox = core::spam_proximity(model.source_graph().topology(),
+                                           crawl.spam_seeds);
+    const u32 top_k = static_cast<u32>(
+        args.get_u64("topk", 2 * crawl.spam_seeds.size()));
+    weight = core::kappa_top_k(prox.scores, top_k);
+  }
+
+  TextTable t({"kappa", "plan+solve s", "iterations", "top host"});
+  for (u32 c = 0; c < configs; ++c) {
+    const f64 strength =
+        configs == 1 ? 1.0 : static_cast<f64>(c) / (configs - 1);
+    std::vector<f64> kappa(weight);
+    for (f64& k : kappa) k *= strength;
+    WallTimer config_timer;
+    const auto result = model.rank(kappa);
+    NodeId best = 0;
+    for (NodeId s = 1; s < corpus.num_sources(); ++s)
+      if (result.scores[s] > result.scores[best]) best = s;
+    t.add_row({TextTable::fixed(strength, 2),
+               TextTable::fixed(config_timer.seconds(), 4),
+               TextTable::num(result.iterations),
+               corpus.source_hosts[best]});
+  }
+  std::cout << t.render("Kappa sweep (" + std::to_string(configs) +
+                        " configs, mode=" + mode_name + ", model built in " +
+                        TextTable::fixed(build_seconds, 3) + "s)");
+  return 0;
+}
+
 int cmd_audit(const Args& args) {
   const auto crawl = load_crawl(args.require("in"));
   const auto& corpus = crawl.corpus;
@@ -369,7 +432,9 @@ void usage() {
       "           [--alpha A] [--topk K] [--trace FILE]\n"
       "  audit    --in DIR [--topk K]     (needs labels.txt)\n"
       "  attack   --in DIR [--target-source S] [--pages N] [--cross C]\n"
-      "  stats    --in DIR [--alpha A] [--topk K] [--json]\n";
+      "  stats    --in DIR [--alpha A] [--topk K] [--json]\n"
+      "  sweep    --in DIR [--configs N] [--alpha A] [--topk K]\n"
+      "           [--mode absorb|discard]\n";
 }
 
 }  // namespace
@@ -387,6 +452,7 @@ int main(int argc, char** argv) {
     if (cmd == "audit") return cmd_audit(args);
     if (cmd == "attack") return cmd_attack(args);
     if (cmd == "stats") return cmd_stats(args);
+    if (cmd == "sweep") return cmd_sweep(args);
     usage();
     return 2;
   } catch (const srsr::Error& e) {
