@@ -52,7 +52,7 @@ void run() {
     f64 legit_mass = 0.0;
     for (u32 s = 0; s < corpus.num_sources(); ++s) {
       if (corpus.source_is_spam[s])
-        spam_full += (policy.kappa[s] == 1.0);
+        spam_full += (policy.kappa[s] == 1.0);  // srsr-lint: allow(float-eq) indicator
       else
         legit_mass += policy.kappa[s];
     }

@@ -24,7 +24,7 @@ void run() {
     const auto kappa = core::kappa_top_k(prox.scores, top_k);
     u32 caught = 0, collateral = 0;
     for (u32 s = 0; s < corpus.num_sources(); ++s) {
-      if (kappa[s] != 1.0) continue;
+      if (kappa[s] != 1.0) continue;  // srsr-lint: allow(float-eq) indicator
       if (corpus.source_is_spam[s])
         ++caught;
       else

@@ -1,19 +1,28 @@
 #!/usr/bin/env bash
-# Tier-1 check: configure, build, and run the full ctest suite, then
-# build build-tsan/ with -DSRSR_SANITIZE=thread and run the
-# concurrency-sensitive rank + obs suites (ctest label "tsan") under it.
+# Tier-1 check: configure, build, and run the full ctest suite, then the
+# sanitizer matrix — build-tsan/ (-DSRSR_SANITIZE=thread, ctest label
+# "tsan") and build-asan/ (-DSRSR_SANITIZE=address → ASan+UBSan, ctest
+# label "sanitize") — plus the project lint. The full matrix is the
+# default gate; flags opt out of individual legs:
 #
-#   scripts/check.sh            # full gate: build/ suite + tsan pass
-#   scripts/check.sh --no-tsan  # skip the ThreadSanitizer pass
+#   scripts/check.sh             # full matrix
+#   scripts/check.sh --no-tsan   # skip the ThreadSanitizer pass
+#   scripts/check.sh --no-asan   # skip the Address+UB Sanitizer pass
+#   scripts/check.sh --no-tidy   # skip clang-tidy (auto-skipped if absent)
+#   scripts/check.sh --no-lint   # skip tools/lint/srsr_lint.py
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-run_tsan=1
+run_tsan=1 run_asan=1 run_tidy=1 run_lint=1
 for arg in "$@"; do
   case "$arg" in
     --tsan) run_tsan=1 ;;  # legacy spelling; tsan is now the default
     --no-tsan) run_tsan=0 ;;
-    *) echo "usage: scripts/check.sh [--no-tsan]" >&2; exit 2 ;;
+    --no-asan) run_asan=0 ;;
+    --no-tidy) run_tidy=0 ;;
+    --no-lint) run_lint=0 ;;
+    *) echo "usage: scripts/check.sh [--no-tsan] [--no-asan] [--no-tidy] [--no-lint]" >&2
+       exit 2 ;;
   esac
 done
 
@@ -29,4 +38,22 @@ if [[ "$run_tsan" -eq 1 ]]; then
     -DSRSR_BUILD_BENCH=OFF -DSRSR_BUILD_EXAMPLES=OFF
   cmake --build build-tsan -j
   ctest --test-dir build-tsan --output-on-failure -L tsan -j "$(nproc)"
+fi
+
+if [[ "$run_asan" -eq 1 ]]; then
+  # address implies undefined too (see CMakeLists.txt): one build pays
+  # for both checkers. SRSR_DCHECK_ENABLED is on in sanitizer builds, so
+  # the O(E) debug validators (row-stochasticity, plan shape) run here.
+  cmake -B build-asan -S . -DSRSR_SANITIZE=address \
+    -DSRSR_BUILD_BENCH=OFF -DSRSR_BUILD_EXAMPLES=OFF
+  cmake --build build-asan -j
+  ctest --test-dir build-asan --output-on-failure -L sanitize -j "$(nproc)"
+fi
+
+if [[ "$run_tidy" -eq 1 ]]; then
+  scripts/tidy.sh
+fi
+
+if [[ "$run_lint" -eq 1 ]]; then
+  python3 tools/lint/srsr_lint.py
 fi

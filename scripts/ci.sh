@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Single-exit-code CI gate: configure → build → unit tests → sanitizer
+# matrix (tsan + asan) → clang-tidy → project lint. Any stage failing
+# fails the run; stages whose tooling is absent in the image (clang-tidy
+# on the gcc-only container) skip with a notice rather than fail.
+#
+#   scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+stage() { echo; echo "=== ci: $1 ==="; }
+
+stage "configure + build + unit tests + sanitizers (scripts/check.sh)"
+scripts/check.sh
+
+stage "clang-tidy (scripts/tidy.sh)"
+scripts/tidy.sh
+
+stage "project lint (tools/lint/srsr_lint.py)"
+python3 tools/lint/srsr_lint.py
+
+echo
+echo "=== ci: all gates passed ==="

@@ -1,6 +1,9 @@
 #include "core/srsr.hpp"
 
+#include <cmath>
+
 #include "obs/stage_timer.hpp"
+#include "util/check.hpp"
 
 namespace srsr::core {
 
@@ -20,6 +23,10 @@ SpamResilientSourceRank::SpamResilientSourceRank(const graph::Graph& pages,
                                                  const SourceMap& map,
                                                  SrsrConfig config)
     : config_(config), source_graph_(build_source_graph(pages, map)) {
+  SRSR_CHECK(std::isfinite(config_.alpha) && config_.alpha >= 0.0 &&
+                 config_.alpha < 1.0,
+             "SpamResilientSourceRank: alpha = ", config_.alpha,
+             ", must be in [0, 1)");
   {
     obs::StageTimer stage("core.base_matrix_build");
     base_matrix_ = config_.weighting == EdgeWeighting::kConsensus
@@ -30,6 +37,11 @@ SpamResilientSourceRank::SpamResilientSourceRank(const graph::Graph& pages,
   // configuration afterwards is an O(V) plan over it.
   base_transpose_ = base_matrix_.transpose();
   row_stats_ = ThrottleRowStats::of(base_matrix_);
+  // T' is built by consensus/uniform weighting, which must emit a
+  // row-(sub)stochastic matrix (Eq. 2 precondition). O(E), so debug and
+  // sanitizer builds only.
+  SRSR_DEBUG_VALIDATE(validate_row_stochastic(
+      base_matrix_, 1e-9, "SpamResilientSourceRank base matrix"));
 }
 
 rank::StochasticMatrix SpamResilientSourceRank::throttled_matrix(
@@ -60,6 +72,12 @@ rank::RankResult SpamResilientSourceRank::solve(
 
 rank::RankResult SpamResilientSourceRank::rank(
     std::span<const f64> kappa) const {
+  // The view's plan build re-derives everything from kappa; reject a
+  // bad vector here so the error names the public entry point.
+  SRSR_CHECK(kappa.size() == num_sources(),
+             "SpamResilientSourceRank::rank: kappa has ", kappa.size(),
+             " entries for ", num_sources(), " sources");
+  validate_kappa(kappa, "SpamResilientSourceRank::rank: kappa");
   return solve(throttled_view(kappa));
 }
 

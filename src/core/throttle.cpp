@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace srsr::core {
 
 ThrottleRowStats ThrottleRowStats::of(const rank::StochasticMatrix& tprime) {
@@ -28,9 +30,9 @@ rank::RowAffinePlan make_throttle_plan(const ThrottleRowStats& stats,
                                        ThrottleMode mode) {
   const bool discard = mode == ThrottleMode::kTeleportDiscard;
   const NodeId n = stats.num_rows();
-  check(kappa.size() == n, "apply_throttle: kappa size mismatch");
-  for (const f64 k : kappa)
-    check(k >= 0.0 && k <= 1.0, "apply_throttle: kappa must be in [0,1]");
+  SRSR_CHECK(kappa.size() == n, "make_throttle_plan: kappa size mismatch (",
+             kappa.size(), " entries, ", n, " rows)");
+  validate_kappa(kappa, "make_throttle_plan: kappa");
 
   rank::RowAffinePlan plan;
   plan.off_scale.assign(n, 0.0);
@@ -72,14 +74,18 @@ rank::RowAffinePlan make_throttle_plan(const ThrottleRowStats& stats,
     const f64 deficit = 1.0 - diag - scale * off;
     plan.deficit[r] = deficit > 0.0 ? deficit : 0.0;
   }
+  // The plan is the only thing standing between a kappa sweep and a
+  // corrupted T''; prove the postcondition in debug/sanitizer builds.
+  SRSR_DEBUG_VALIDATE(
+      validate_plan(plan, n, 1e-9, "make_throttle_plan output"));
   return plan;
 }
 
 rank::StochasticMatrix materialize_throttled(
     const rank::StochasticMatrix& tprime, const rank::RowAffinePlan& plan) {
   const NodeId n = tprime.num_rows();
-  check(plan.off_scale.size() == n && plan.diagonal.size() == n,
-        "materialize_throttled: plan size mismatch");
+  SRSR_CHECK(plan.off_scale.size() == n && plan.diagonal.size() == n,
+             "materialize_throttled: plan size mismatch (", n, " rows)");
 
   std::vector<u64> offsets(static_cast<std::size_t>(n) + 1, 0);
   std::vector<NodeId> cols;

@@ -1,6 +1,7 @@
 #include "graph/builder.hpp"
 
 #include <algorithm>
+#include "util/check.hpp"
 
 namespace srsr::graph {
 
@@ -17,12 +18,12 @@ void GraphBuilder::grow(NodeId n) {
 }
 
 NodeId GraphBuilder::add_node() {
-  check(num_nodes_ != kInvalidNode, "GraphBuilder: node id space exhausted");
+  SRSR_CHECK(num_nodes_ != kInvalidNode, "GraphBuilder: node id space exhausted");
   return num_nodes_++;
 }
 
 void GraphBuilder::add_edge(NodeId u, NodeId v) {
-  check(u < num_nodes_ && v < num_nodes_,
+  SRSR_CHECK(u < num_nodes_ && v < num_nodes_,
         "GraphBuilder::add_edge: node id out of range");
   edges_.emplace_back(u, v);
 }

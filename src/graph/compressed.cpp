@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/check.hpp"
+
 namespace srsr::graph {
 
 namespace {
@@ -181,20 +183,20 @@ CompressedGraph::CompressedGraph(const Graph& g, Options options)
 }
 
 u64 CompressedGraph::out_degree(NodeId u) const {
-  check(u < num_nodes_, "CompressedGraph::out_degree: id out of range");
+  SRSR_CHECK(u < num_nodes_, "CompressedGraph::out_degree: id out of range");
   BitReader r(bits_);
   r.seek_bit(offsets_[u]);
   return r.read_gamma();
 }
 
 void CompressedGraph::decode(NodeId u, std::vector<NodeId>& out) const {
-  check(u < num_nodes_, "CompressedGraph::decode: id out of range");
+  SRSR_CHECK(u < num_nodes_, "CompressedGraph::decode: id out of range");
   decode_at(u, out, 0);
 }
 
 void CompressedGraph::decode_at(NodeId u, std::vector<NodeId>& out,
                                 u32 depth) const {
-  check(depth <= options_.max_ref_chain + 1,
+  SRSR_CHECK(depth <= options_.max_ref_chain + 1,
         "CompressedGraph: reference chain too deep (corrupt stream)");
   decode_record(u, out, [&](NodeId ref_node, std::vector<NodeId>& ref) {
     decode_at(ref_node, ref, depth + 1);
@@ -210,10 +212,16 @@ void CompressedGraph::decode_record(NodeId u, std::vector<NodeId>& out,
   const u64 degree = r.read_gamma();
   if (degree == 0) return;
 
-  const u32 ref_delta = static_cast<u32>(r.read_gamma());
+  // Decode-side narrowings are all checked: every value here comes from
+  // the bit stream, and a corrupt stream must throw, not wrap into a
+  // plausible node id.
+  const u64 ref_delta_raw = r.read_gamma();
+  SRSR_CHECK(ref_delta_raw <= u, "CompressedGraph: node ", u,
+             " reference delta ", ref_delta_raw, " out of range");
+  const u32 ref_delta = static_cast<u32>(ref_delta_raw);
   std::vector<NodeId> copied;
   if (ref_delta > 0) {
-    check(ref_delta <= u, "CompressedGraph: bad reference delta");
+    SRSR_CHECK(ref_delta <= u, "CompressedGraph: bad reference delta");
     std::vector<NodeId> ref;
     resolve_ref(u - ref_delta, ref);
     const u64 num_runs = r.read_gamma();
@@ -222,7 +230,7 @@ void CompressedGraph::decode_record(NodeId u, std::vector<NodeId>& out,
     for (u64 b = 0; b < num_runs; ++b) {
       const u64 raw = r.read_gamma();
       const u64 len = b == 0 ? raw : raw + 1;
-      check(pos + len <= ref.size(), "CompressedGraph: copy run overflow");
+      SRSR_CHECK(pos + len <= ref.size(), "CompressedGraph: copy run overflow");
       if (copying)
         for (u64 k = 0; k < len; ++k) copied.push_back(ref[pos + k]);
       pos += len;
@@ -239,17 +247,27 @@ void CompressedGraph::decode_record(NodeId u, std::vector<NodeId>& out,
     NodeId left;
     if (i == 0) {
       const i64 delta = zigzag_decode(r.read_zeta(kZetaK));
-      left = static_cast<NodeId>(static_cast<i64>(u) + delta);
+      const i64 first = static_cast<i64>(u) + delta;
+      SRSR_CHECK(first >= 0 && first < static_cast<i64>(num_nodes_),
+                 "CompressedGraph: node ", u, " interval start ", first,
+                 " out of range");
+      left = static_cast<NodeId>(first);
     } else {
-      left = prev_end + static_cast<NodeId>(r.read_zeta(kZetaK)) + 1;
+      const u64 gap = r.read_zeta(kZetaK);
+      SRSR_CHECK(gap < num_nodes_, "CompressedGraph: node ", u,
+                 " interval gap ", gap, " out of range");
+      left = prev_end + static_cast<NodeId>(gap) + 1;
     }
-    const u32 len = static_cast<u32>(r.read_gamma()) + kMinIntervalLength;
+    const u64 len_raw = r.read_gamma();
+    SRSR_CHECK(len_raw <= num_nodes_, "CompressedGraph: node ", u,
+               " interval length ", len_raw, " out of range");
+    const u32 len = static_cast<u32>(len_raw) + kMinIntervalLength;
     intervals.emplace_back(left, len);
     explicit_edges += len;
     prev_end = left + len;
   }
 
-  check(degree >= explicit_edges, "CompressedGraph: corrupt degree");
+  SRSR_CHECK(degree >= explicit_edges, "CompressedGraph: corrupt degree");
   const u64 num_residuals = degree - explicit_edges;
   std::vector<NodeId> residuals;
   residuals.reserve(num_residuals);
@@ -257,9 +275,16 @@ void CompressedGraph::decode_record(NodeId u, std::vector<NodeId>& out,
   for (u64 i = 0; i < num_residuals; ++i) {
     if (i == 0) {
       const i64 delta = zigzag_decode(r.read_zeta(kZetaK));
-      prev = static_cast<NodeId>(static_cast<i64>(u) + delta);
+      const i64 first = static_cast<i64>(u) + delta;
+      SRSR_CHECK(first >= 0 && first < static_cast<i64>(num_nodes_),
+                 "CompressedGraph: node ", u, " residual start ", first,
+                 " out of range");
+      prev = static_cast<NodeId>(first);
     } else {
-      prev = prev + static_cast<NodeId>(r.read_zeta(kZetaK)) + 1;
+      const u64 gap = r.read_zeta(kZetaK);
+      SRSR_CHECK(gap < num_nodes_, "CompressedGraph: node ", u,
+                 " residual gap ", gap, " out of range");
+      prev = prev + static_cast<NodeId>(gap) + 1;
     }
     residuals.push_back(prev);
   }
@@ -290,7 +315,7 @@ void CompressedGraph::decode_record(NodeId u, std::vector<NodeId>& out,
       best = residuals[ri];
       which = 2;
     }
-    check(which >= 0, "CompressedGraph: merge underflow (corrupt stream)");
+    SRSR_CHECK(which >= 0, "CompressedGraph: merge underflow (corrupt stream)");
     out.push_back(best);
     if (which == 0) {
       ++ci;

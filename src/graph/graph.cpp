@@ -1,30 +1,31 @@
 #include "graph/graph.hpp"
 
 #include <algorithm>
+#include "util/check.hpp"
 
 namespace srsr::graph {
 
 Graph::Graph(std::vector<u64> offsets, std::vector<NodeId> targets)
     : offsets_(std::move(offsets)), targets_(std::move(targets)) {
-  check(!offsets_.empty(), "Graph: offsets must have at least one entry");
-  check(offsets_.front() == 0, "Graph: offsets must start at 0");
-  check(offsets_.back() == targets_.size(),
+  SRSR_CHECK(!offsets_.empty(), "Graph: offsets must have at least one entry");
+  SRSR_CHECK(offsets_.front() == 0, "Graph: offsets must start at 0");
+  SRSR_CHECK(offsets_.back() == targets_.size(),
         "Graph: offsets must end at targets.size()");
   const NodeId n = num_nodes();
   for (NodeId u = 0; u < n; ++u) {
-    check(offsets_[u] <= offsets_[u + 1], "Graph: offsets must be monotone");
+    SRSR_CHECK(offsets_[u] <= offsets_[u + 1], "Graph: offsets must be monotone");
     const auto nbrs = out_neighbors(u);
     for (std::size_t i = 0; i < nbrs.size(); ++i) {
-      check(nbrs[i] < n, "Graph: target id out of range");
+      SRSR_CHECK(nbrs[i] < n, "Graph: target id out of range");
       if (i > 0)
-        check(nbrs[i - 1] < nbrs[i],
+        SRSR_CHECK(nbrs[i - 1] < nbrs[i],
               "Graph: neighbor lists must be sorted and duplicate-free");
     }
   }
 }
 
 bool Graph::has_edge(NodeId u, NodeId v) const {
-  check(u < num_nodes() && v < num_nodes(), "Graph::has_edge: id out of range");
+  SRSR_CHECK(u < num_nodes() && v < num_nodes(), "Graph::has_edge: id out of range");
   const auto nbrs = out_neighbors(u);
   return std::binary_search(nbrs.begin(), nbrs.end(), v);
 }

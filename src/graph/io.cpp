@@ -9,6 +9,7 @@
 #include "graph/builder.hpp"
 #include "obs/stage_timer.hpp"
 #include "util/strings.hpp"
+#include "util/check.hpp"
 
 namespace srsr::graph {
 
@@ -25,7 +26,7 @@ template <typename T>
 T read_pod(std::istream& in) {
   T v{};
   in.read(reinterpret_cast<char*>(&v), sizeof(T));
-  check(in.good(), "read_binary: truncated file");
+  SRSR_CHECK(in.good(), "read_binary: truncated file");
   return v;
 }
 }  // namespace
@@ -40,9 +41,9 @@ void write_edge_list(std::ostream& out, const Graph& g) {
 void write_edge_list_file(const std::string& path, const Graph& g) {
   obs::StageTimer stage("graph.io.write_edge_list");
   std::ofstream out(path);
-  check(out.good(), "write_edge_list_file: cannot open " + path);
+  SRSR_CHECK(out.good(), "write_edge_list_file: cannot open " + path);
   write_edge_list(out, g);
-  check(out.good(), "write_edge_list_file: write failed for " + path);
+  SRSR_CHECK(out.good(), "write_edge_list_file: write failed for " + path);
 }
 
 Graph read_edge_list(std::istream& in, NodeId num_nodes) {
@@ -56,12 +57,12 @@ Graph read_edge_list(std::istream& in, NodeId num_nodes) {
     const std::string_view body = trim(line);
     if (body.empty() || body[0] == '#') continue;
     const auto tokens = split(body);
-    check(tokens.size() == 2, "read_edge_list: line " +
+    SRSR_CHECK(tokens.size() == 2, "read_edge_list: line " +
                                   std::to_string(lineno) +
                                   ": expected 'u v', got '" + line + "'");
     const u64 u = parse_u64(tokens[0]);
     const u64 v = parse_u64(tokens[1]);
-    check(u < kInvalidNode && v < kInvalidNode,
+    SRSR_CHECK(u < kInvalidNode && v < kInvalidNode,
           "read_edge_list: line " + std::to_string(lineno) + ": id too large");
     edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
     max_id = std::max({max_id, static_cast<NodeId>(u), static_cast<NodeId>(v)});
@@ -77,14 +78,14 @@ Graph read_edge_list(std::istream& in, NodeId num_nodes) {
 Graph read_edge_list_file(const std::string& path, NodeId num_nodes) {
   obs::StageTimer stage("graph.io.read_edge_list");
   std::ifstream in(path);
-  check(in.good(), "read_edge_list_file: cannot open " + path);
+  SRSR_CHECK(in.good(), "read_edge_list_file: cannot open " + path);
   return read_edge_list(in, num_nodes);
 }
 
 void write_binary(const std::string& path, const Graph& g) {
   obs::StageTimer stage("graph.io.write_binary");
   std::ofstream out(path, std::ios::binary);
-  check(out.good(), "write_binary: cannot open " + path);
+  SRSR_CHECK(out.good(), "write_binary: cannot open " + path);
   out.write(kMagic, sizeof(kMagic));
   write_pod(out, kVersion);
   write_pod(out, static_cast<u64>(g.num_nodes()));
@@ -93,29 +94,29 @@ void write_binary(const std::string& path, const Graph& g) {
             static_cast<std::streamsize>(g.offsets().size() * sizeof(u64)));
   out.write(reinterpret_cast<const char*>(g.targets().data()),
             static_cast<std::streamsize>(g.targets().size() * sizeof(NodeId)));
-  check(out.good(), "write_binary: write failed for " + path);
+  SRSR_CHECK(out.good(), "write_binary: write failed for " + path);
 }
 
 Graph read_binary(const std::string& path) {
   obs::StageTimer stage("graph.io.read_binary");
   std::ifstream in(path, std::ios::binary);
-  check(in.good(), "read_binary: cannot open " + path);
+  SRSR_CHECK(in.good(), "read_binary: cannot open " + path);
   char magic[8];
   in.read(magic, sizeof(magic));
-  check(in.good() && std::equal(magic, magic + 8, kMagic),
+  SRSR_CHECK(in.good() && std::equal(magic, magic + 8, kMagic),
         "read_binary: bad magic in " + path);
   const u32 version = read_pod<u32>(in);
-  check(version == kVersion, "read_binary: unsupported version");
+  SRSR_CHECK(version == kVersion, "read_binary: unsupported version");
   const u64 n = read_pod<u64>(in);
   const u64 m = read_pod<u64>(in);
-  check(n < kInvalidNode, "read_binary: node count too large");
+  SRSR_CHECK(n < kInvalidNode, "read_binary: node count too large");
   std::vector<u64> offsets(n + 1);
   in.read(reinterpret_cast<char*>(offsets.data()),
           static_cast<std::streamsize>(offsets.size() * sizeof(u64)));
   std::vector<NodeId> targets(m);
   in.read(reinterpret_cast<char*>(targets.data()),
           static_cast<std::streamsize>(targets.size() * sizeof(NodeId)));
-  check(in.good(), "read_binary: truncated file " + path);
+  SRSR_CHECK(in.good(), "read_binary: truncated file " + path);
   return Graph(std::move(offsets), std::move(targets));
 }
 
@@ -131,24 +132,24 @@ WebCorpus read_url_corpus(std::istream& pages, std::istream& edges) {
     const std::string_view body = trim(line);
     if (body.empty() || body[0] == '#') continue;
     const auto tokens = split(body);
-    check(tokens.size() == 2, "read_url_corpus: pages line " +
+    SRSR_CHECK(tokens.size() == 2, "read_url_corpus: pages line " +
                                   std::to_string(lineno) +
                                   ": expected '<id> <url>'");
     const u64 id = parse_u64(tokens[0]);
-    check(id < kInvalidNode, "read_url_corpus: page id too large");
+    SRSR_CHECK(id < kInvalidNode, "read_url_corpus: page id too large");
     const std::string host = host_of(tokens[1]);
     const auto [it, inserted] = host_to_source.emplace(
         host, static_cast<NodeId>(corpus.source_hosts.size()));
     if (inserted) corpus.source_hosts.push_back(host);
     page_rows.emplace_back(static_cast<NodeId>(id), it->second);
   }
-  check(!page_rows.empty(), "read_url_corpus: no pages");
+  SRSR_CHECK(!page_rows.empty(), "read_url_corpus: no pages");
 
   const NodeId np = static_cast<NodeId>(page_rows.size());
   corpus.page_source.assign(np, kInvalidNode);
   for (const auto& [id, src] : page_rows) {
-    check(id < np, "read_url_corpus: page ids must be dense 0..n-1");
-    check(corpus.page_source[id] == kInvalidNode,
+    SRSR_CHECK(id < np, "read_url_corpus: page ids must be dense 0..n-1");
+    SRSR_CHECK(corpus.page_source[id] == kInvalidNode,
           "read_url_corpus: duplicate page id " + std::to_string(id));
     corpus.page_source[id] = src;
   }

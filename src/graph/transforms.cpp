@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "graph/builder.hpp"
+#include "util/check.hpp"
 
 namespace srsr::graph {
 
@@ -58,10 +59,10 @@ Induced induced_subgraph(const Graph& g, const std::vector<NodeId>& nodes) {
   std::vector<NodeId> to_old = nodes;
   std::sort(to_old.begin(), to_old.end());
   for (std::size_t i = 1; i < to_old.size(); ++i)
-    check(to_old[i - 1] != to_old[i], "induced_subgraph: duplicate node id");
+    SRSR_CHECK(to_old[i - 1] != to_old[i], "induced_subgraph: duplicate node id");
   std::vector<NodeId> to_new(g.num_nodes(), kInvalidNode);
   for (std::size_t i = 0; i < to_old.size(); ++i) {
-    check(to_old[i] < g.num_nodes(), "induced_subgraph: id out of range");
+    SRSR_CHECK(to_old[i] < g.num_nodes(), "induced_subgraph: id out of range");
     to_new[to_old[i]] = static_cast<NodeId>(i);
   }
   std::vector<u64> offsets(to_old.size() + 1, 0);
@@ -83,11 +84,11 @@ Graph with_edges(const Graph& g,
 
 Graph relabel(const Graph& g, const std::vector<NodeId>& new_id) {
   const NodeId n = g.num_nodes();
-  check(new_id.size() == n, "relabel: permutation size mismatch");
+  SRSR_CHECK(new_id.size() == n, "relabel: permutation size mismatch");
   std::vector<bool> seen(n, false);
   for (const NodeId v : new_id) {
-    check(v < n, "relabel: id out of range");
-    check(!seen[v], "relabel: not a permutation (duplicate id)");
+    SRSR_CHECK(v < n, "relabel: id out of range");
+    SRSR_CHECK(!seen[v], "relabel: not a permutation (duplicate id)");
     seen[v] = true;
   }
   GraphBuilder b(n);

@@ -1,14 +1,18 @@
 #include "rank/gauss_seidel.hpp"
 
+#include <cmath>
+
 #include "obs/metrics.hpp"
+#include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace srsr::rank {
 
 RankResult gauss_seidel_solve(const TransitionOperator& op,
                               const SolverConfig& config) {
-  check(config.alpha >= 0.0 && config.alpha < 1.0,
-        "gauss_seidel: alpha must be in [0, 1)");
+  SRSR_CHECK(std::isfinite(config.alpha) && config.alpha >= 0.0 &&
+                 config.alpha < 1.0,
+             "gauss_seidel: alpha = ", config.alpha, ", must be in [0, 1)");
   const NodeId n = op.num_rows();
   RankResult result;
   if (n == 0) {
@@ -20,13 +24,16 @@ RankResult gauss_seidel_solve(const TransitionOperator& op,
   std::vector<f64> teleport;
   if (config.teleport) {
     teleport = *config.teleport;
-    check(teleport.size() == n, "gauss_seidel: teleport size mismatch");
+    SRSR_CHECK(teleport.size() == n, "gauss_seidel: teleport size mismatch (",
+               teleport.size(), " entries, ", n, " rows)");
     f64 sum = 0.0;
     for (const f64 v : teleport) {
-      check(v >= 0.0, "gauss_seidel: teleport entries must be non-negative");
+      SRSR_CHECK(std::isfinite(v), "gauss_seidel: teleport entry not finite");
+      SRSR_CHECK(v >= 0.0,
+                 "gauss_seidel: teleport entries must be non-negative");
       sum += v;
     }
-    check(sum > 0.0, "gauss_seidel: teleport must have positive mass");
+    SRSR_CHECK(sum > 0.0, "gauss_seidel: teleport must have positive mass");
     for (f64& v : teleport) v /= sum;
   } else {
     teleport.assign(n, 1.0 / static_cast<f64>(n));
@@ -37,13 +44,16 @@ RankResult gauss_seidel_solve(const TransitionOperator& op,
   std::vector<f64> x(n, 1.0 / static_cast<f64>(n));
   if (config.initial) {
     const auto& init = *config.initial;
-    check(init.size() == n, "gauss_seidel: initial size mismatch");
+    SRSR_CHECK(init.size() == n, "gauss_seidel: initial size mismatch (",
+               init.size(), " entries, ", n, " rows)");
     f64 sum = 0.0;
     for (const f64 v : init) {
-      check(v >= 0.0, "gauss_seidel: initial entries must be non-negative");
+      SRSR_CHECK(std::isfinite(v), "gauss_seidel: initial entry not finite");
+      SRSR_CHECK(v >= 0.0,
+                 "gauss_seidel: initial entries must be non-negative");
       sum += v;
     }
-    check(sum > 0.0, "gauss_seidel: initial must have positive mass");
+    SRSR_CHECK(sum > 0.0, "gauss_seidel: initial must have positive mass");
     for (NodeId v = 0; v < n; ++v) x[v] = init[v] / sum;
   }
   std::vector<f64> prev(n);
@@ -74,6 +84,8 @@ RankResult gauss_seidel_solve(const TransitionOperator& op,
   if (sum > 0.0)
     for (f64& v : x) v /= sum;
   result.scores = std::move(x);
+  SRSR_DEBUG_VALIDATE(validate_probability_vector(result.scores, 1e-6,
+                                                  "gauss_seidel output"));
   result.seconds = timer.seconds();
   result.trace = obs::make_trace_summary(result.iterations, first_residual,
                                          result.residual);

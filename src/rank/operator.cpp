@@ -1,5 +1,6 @@
 #include "rank/operator.hpp"
 
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 
 namespace srsr::rank {
@@ -11,7 +12,8 @@ MatrixOperator::MatrixOperator(const StochasticMatrix& matrix)
 
 void MatrixOperator::pull(std::span<const f64> x, std::span<f64> y) const {
   const NodeId n = num_rows();
-  check(x.size() == n && y.size() == n, "MatrixOperator::pull: size mismatch");
+  SRSR_CHECK(x.size() == n && y.size() == n,
+             "MatrixOperator::pull: size mismatch");
   parallel_for(0, n, [&](std::size_t v) {
     const auto cs = pull_.row_cols(static_cast<NodeId>(v));
     const auto ws = pull_.row_weights(static_cast<NodeId>(v));
@@ -53,23 +55,24 @@ ThrottledView::ThrottledView(const StochasticMatrix& base,
                              const StochasticMatrix& transpose,
                              RowAffinePlan plan)
     : base_(&base), pull_(&transpose) {
-  check(transpose.num_rows() == base.num_rows() &&
-            transpose.num_entries() == base.num_entries(),
-        "ThrottledView: transpose does not match the base matrix");
+  SRSR_CHECK(transpose.num_rows() == base.num_rows() &&
+                 transpose.num_entries() == base.num_entries(),
+             "ThrottledView: transpose does not match the base matrix");
   reset_plan(std::move(plan));
 }
 
 void ThrottledView::reset_plan(RowAffinePlan plan) {
-  const std::size_t n = base_->num_rows();
-  check(plan.off_scale.size() == n && plan.diagonal.size() == n &&
-            plan.deficit.size() == n,
-        "ThrottledView: plan size mismatch");
+  // O(V) per kappa configuration, same order as building the plan: a
+  // NaN or out-of-range entry here would silently corrupt every pull of
+  // the sweep, so the full contract is always on (not just a DCHECK).
+  validate_plan(plan, base_->num_rows(), 1e-9, "ThrottledView::reset_plan");
   plan_ = std::move(plan);
 }
 
 void ThrottledView::pull(std::span<const f64> x, std::span<f64> y) const {
   const NodeId n = num_rows();
-  check(x.size() == n && y.size() == n, "ThrottledView::pull: size mismatch");
+  SRSR_CHECK(x.size() == n && y.size() == n,
+             "ThrottledView::pull: size mismatch");
   const f64* const scale = plan_.off_scale.data();
   const f64* const diag = plan_.diagonal.data();
   parallel_for(0, n, [&](std::size_t v) {

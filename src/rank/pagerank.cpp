@@ -4,6 +4,7 @@
 
 #include "graph/transforms.hpp"
 #include "obs/metrics.hpp"
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -13,13 +14,15 @@ namespace {
 
 /// Validates a teleport distribution and returns a normalized copy.
 std::vector<f64> normalize_teleport(const std::vector<f64>& t, NodeId n) {
-  check(t.size() == n, "PageRank: teleport vector size mismatch");
+  SRSR_CHECK(t.size() == n, "PageRank: teleport vector size mismatch (",
+             t.size(), " entries, ", n, " nodes)");
   f64 sum = 0.0;
   for (const f64 v : t) {
-    check(v >= 0.0, "PageRank: teleport entries must be non-negative");
+    SRSR_CHECK(std::isfinite(v), "PageRank: teleport entry is not finite");
+    SRSR_CHECK(v >= 0.0, "PageRank: teleport entries must be non-negative");
     sum += v;
   }
-  check(sum > 0.0, "PageRank: teleport vector must have positive mass");
+  SRSR_CHECK(sum > 0.0, "PageRank: teleport vector must have positive mass");
   std::vector<f64> out(t);
   for (f64& v : out) v /= sum;
   return out;
@@ -39,8 +42,9 @@ PageRank::PageRank(const graph::Graph& g)
 }
 
 RankResult PageRank::solve(const PageRankConfig& config) const {
-  check(config.alpha >= 0.0 && config.alpha < 1.0,
-        "PageRank: alpha must be in [0, 1)");
+  SRSR_CHECK(std::isfinite(config.alpha) && config.alpha >= 0.0 &&
+                 config.alpha < 1.0,
+             "PageRank: alpha = ", config.alpha, ", must be in [0, 1)");
   const NodeId n = graph_->num_nodes();
   RankResult result;
   if (n == 0) {
@@ -94,6 +98,8 @@ RankResult PageRank::solve(const PageRankConfig& config) const {
     for (f64& v : cur) v /= sum;
 
   result.scores = std::move(cur);
+  SRSR_DEBUG_VALIDATE(
+      validate_probability_vector(result.scores, 1e-6, "PageRank output"));
   result.seconds = timer.seconds();
   result.trace =
       obs::make_trace_summary(result.iterations, first_residual,

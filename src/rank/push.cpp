@@ -4,6 +4,7 @@
 #include <deque>
 
 #include "obs/metrics.hpp"
+#include "util/check.hpp"
 #include "util/timer.hpp"
 
 namespace srsr::rank {
@@ -13,13 +14,15 @@ namespace {
 std::vector<f64> make_teleport(const PushConfig& config, NodeId n) {
   if (!config.teleport) return std::vector<f64>(n, 1.0 / static_cast<f64>(n));
   const auto& t = *config.teleport;
-  check(t.size() == n, "push: teleport size mismatch");
+  SRSR_CHECK(t.size() == n, "push: teleport size mismatch (", t.size(),
+             " entries, ", n, " rows)");
   f64 sum = 0.0;
   for (const f64 v : t) {
-    check(v >= 0.0, "push: teleport entries must be non-negative");
+    SRSR_CHECK(std::isfinite(v), "push: teleport entry is not finite");
+    SRSR_CHECK(v >= 0.0, "push: teleport entries must be non-negative");
     sum += v;
   }
-  check(sum > 0.0, "push: teleport must have positive mass");
+  SRSR_CHECK(sum > 0.0, "push: teleport must have positive mass");
   std::vector<f64> out(t);
   for (f64& v : out) v /= sum;
   return out;
@@ -31,9 +34,11 @@ std::vector<f64> make_teleport(const PushConfig& config, NodeId n) {
 template <typename RowFn>
 PushResult run_push(NodeId n, const PushConfig& config, std::vector<f64> p,
                     std::vector<f64> r, RowFn&& row_of) {
-  check(config.alpha >= 0.0 && config.alpha < 1.0,
-        "push: alpha must be in [0, 1)");
-  check(config.epsilon > 0.0, "push: epsilon must be positive");
+  SRSR_CHECK(std::isfinite(config.alpha) && config.alpha >= 0.0 &&
+                 config.alpha < 1.0,
+             "push: alpha = ", config.alpha, ", must be in [0, 1)");
+  SRSR_CHECK(std::isfinite(config.epsilon) && config.epsilon > 0.0,
+             "push: epsilon must be positive and finite");
   const f64 alpha = config.alpha;
   PushResult result;
   WallTimer timer;
@@ -100,6 +105,8 @@ PushResult run_push(NodeId n, const PushConfig& config, std::vector<f64> p,
   if (sum > 0.0)
     for (f64& v : p) v /= sum;
   result.scores = std::move(p);
+  SRSR_DEBUG_VALIDATE(
+      validate_probability_vector(result.scores, 1e-6, "push output"));
   result.seconds = timer.seconds();
   if (obs::metrics_enabled()) {
     auto& reg = obs::MetricsRegistry::instance();
@@ -115,8 +122,8 @@ PushResult run_push(NodeId n, const PushConfig& config, std::vector<f64> p,
 void operator_left_multiply(const TransitionOperator& op,
                             std::span<const f64> x, std::span<f64> y) {
   const NodeId n = op.num_rows();
-  check(x.size() == n && y.size() == n,
-        "push: operator left_multiply size mismatch");
+  SRSR_CHECK(x.size() == n && y.size() == n,
+             "push: operator left_multiply size mismatch");
   for (f64& v : y) v = 0.0;
   std::vector<NodeId> cols_scratch;
   std::vector<f64> weights_scratch;
@@ -157,7 +164,8 @@ PushResult push_update(const StochasticMatrix& matrix,
                        const PushConfig& config,
                        std::span<const f64> old_scores) {
   const NodeId n = matrix.num_rows();
-  check(old_scores.size() == n, "push_update: old solution size mismatch");
+  SRSR_CHECK(old_scores.size() == n,
+             "push_update: old solution size mismatch");
   const std::vector<f64> teleport = make_teleport(config, n);
 
   std::vector<f64> p(old_scores.begin(), old_scores.end());
@@ -183,7 +191,8 @@ PushResult push_solve(const TransitionOperator& op, const PushConfig& config) {
 PushResult push_update(const TransitionOperator& op, const PushConfig& config,
                        std::span<const f64> old_scores) {
   const NodeId n = op.num_rows();
-  check(old_scores.size() == n, "push_update: old solution size mismatch");
+  SRSR_CHECK(old_scores.size() == n,
+             "push_update: old solution size mismatch");
   const std::vector<f64> teleport = make_teleport(config, n);
 
   std::vector<f64> p(old_scores.begin(), old_scores.end());

@@ -1,6 +1,7 @@
 #include "rank/solvers.hpp"
 
 #include "obs/metrics.hpp"
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
 
@@ -11,13 +12,15 @@ namespace {
 std::vector<f64> make_teleport(const SolverConfig& config, NodeId n) {
   if (!config.teleport) return std::vector<f64>(n, 1.0 / static_cast<f64>(n));
   const auto& t = *config.teleport;
-  check(t.size() == n, "solver: teleport vector size mismatch");
+  SRSR_CHECK(t.size() == n, "solver: teleport vector size mismatch (",
+             t.size(), " entries, ", n, " rows)");
   f64 sum = 0.0;
   for (const f64 v : t) {
-    check(v >= 0.0, "solver: teleport entries must be non-negative");
+    SRSR_CHECK(std::isfinite(v), "solver: teleport entry is not finite");
+    SRSR_CHECK(v >= 0.0, "solver: teleport entries must be non-negative");
     sum += v;
   }
-  check(sum > 0.0, "solver: teleport vector must have positive mass");
+  SRSR_CHECK(sum > 0.0, "solver: teleport vector must have positive mass");
   std::vector<f64> out(t);
   for (f64& v : out) v /= sum;
   return out;
@@ -31,8 +34,9 @@ std::vector<f64> make_teleport(const SolverConfig& config, NodeId n) {
 /// normalization absorbs it).
 RankResult iterate(const TransitionOperator& op, const SolverConfig& config,
                    bool complete_deficits, const char* solver_name) {
-  check(config.alpha >= 0.0 && config.alpha < 1.0,
-        "solver: alpha must be in [0, 1)");
+  SRSR_CHECK(std::isfinite(config.alpha) && config.alpha >= 0.0 &&
+                 config.alpha < 1.0,
+             "solver: alpha = ", config.alpha, ", must be in [0, 1)");
   const NodeId n = op.num_rows();
   RankResult result;
   if (n == 0) {
@@ -48,13 +52,15 @@ RankResult iterate(const TransitionOperator& op, const SolverConfig& config,
   std::vector<f64> cur = [&] {
     if (!config.initial) return std::vector<f64>(n, 1.0 / static_cast<f64>(n));
     const auto& init = *config.initial;
-    check(init.size() == n, "solver: initial vector size mismatch");
+    SRSR_CHECK(init.size() == n, "solver: initial vector size mismatch (",
+               init.size(), " entries, ", n, " rows)");
     f64 sum = 0.0;
     for (const f64 v : init) {
-      check(v >= 0.0, "solver: initial entries must be non-negative");
+      SRSR_CHECK(std::isfinite(v), "solver: initial entry is not finite");
+      SRSR_CHECK(v >= 0.0, "solver: initial entries must be non-negative");
       sum += v;
     }
-    check(sum > 0.0, "solver: initial vector must have positive mass");
+    SRSR_CHECK(sum > 0.0, "solver: initial vector must have positive mass");
     std::vector<f64> out(init);
     for (f64& v : out) v /= sum;
     return out;
@@ -97,6 +103,10 @@ RankResult iterate(const TransitionOperator& op, const SolverConfig& config,
     for (f64& v : cur) v /= sum;
 
   result.scores = std::move(cur);
+  // The output contract of Eq. 2/3: a finite probability distribution.
+  // O(V); live in debug/sanitizer builds only.
+  SRSR_DEBUG_VALIDATE(
+      validate_probability_vector(result.scores, 1e-6, "solver output"));
   result.seconds = timer.seconds();
   result.trace = obs::make_trace_summary(result.iterations, first_residual,
                                          result.residual);

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/stage_timer.hpp"
+#include "util/check.hpp"
 #include "util/parallel.hpp"
 
 namespace srsr::rank {
@@ -28,9 +29,10 @@ StochasticMatrix::StochasticMatrix(std::vector<u64> offsets,
     : offsets_(std::move(offsets)),
       cols_(std::move(cols)),
       weights_(std::move(weights)) {
-  check(!offsets_.empty() && offsets_.front() == 0 &&
-            offsets_.back() == cols_.size() && cols_.size() == weights_.size(),
-        "StochasticMatrix: inconsistent CSR arrays");
+  SRSR_CHECK(!offsets_.empty() && offsets_.front() == 0 &&
+                 offsets_.back() == cols_.size() &&
+                 cols_.size() == weights_.size(),
+             "StochasticMatrix: inconsistent CSR arrays");
   // Sortedness detection (one cheap pass): weight() binary-searches
   // sorted rows, scans unsorted ones.
   for (NodeId r = 0; r < num_rows() && rows_sorted_; ++r) {
@@ -44,17 +46,20 @@ StochasticMatrix::StochasticMatrix(std::vector<u64> offsets,
   if (skip_validation) return;
   const NodeId n = num_rows();
   for (NodeId r = 0; r < n; ++r) {
-    check(offsets_[r] <= offsets_[r + 1],
-          "StochasticMatrix: offsets must be monotone");
+    SRSR_CHECK(offsets_[r] <= offsets_[r + 1],
+               "StochasticMatrix: offsets must be monotone");
     f64 sum = 0.0;
     for (u64 i = offsets_[r]; i < offsets_[r + 1]; ++i) {
-      check(cols_[i] < n, "StochasticMatrix: column out of range");
-      check(weights_[i] >= 0.0, "StochasticMatrix: negative weight");
+      SRSR_CHECK(cols_[i] < n, "StochasticMatrix: row ", r, " column ",
+                 cols_[i], " out of range (", n, " rows)");
+      SRSR_CHECK(std::isfinite(weights_[i]),
+                 "StochasticMatrix: row ", r, " has a non-finite weight");
+      SRSR_CHECK(weights_[i] >= 0.0, "StochasticMatrix: row ", r,
+                 " has negative weight ", weights_[i]);
       sum += weights_[i];
     }
-    check(sum <= 1.0 + kRowSumTolerance,
-          "StochasticMatrix: row " + std::to_string(r) + " sums to " +
-              std::to_string(sum) + ", expected <= 1");
+    SRSR_CHECK(sum <= 1.0 + kRowSumTolerance, "StochasticMatrix: row ", r,
+               " sums to ", sum, ", expected <= 1 (row-stochastic contract)");
   }
 }
 
@@ -96,8 +101,10 @@ StochasticMatrix StochasticMatrix::from_rows(
 }
 
 f64 StochasticMatrix::weight(NodeId r, NodeId c) const {
-  check(r < num_rows() && c < num_rows(),
-        "StochasticMatrix::weight: index out of range");
+  SRSR_CHECK(r < num_rows(), "StochasticMatrix::weight: row ", r,
+             " out of range (", num_rows(), " rows)");
+  SRSR_CHECK(c < num_rows(), "StochasticMatrix::weight: column ", c,
+             " out of range (", num_rows(), " rows)");
   const auto cs = row_cols(r);
   const auto ws = row_weights(r);
   if (rows_sorted_) {
@@ -112,7 +119,8 @@ f64 StochasticMatrix::weight(NodeId r, NodeId c) const {
 }
 
 f64 StochasticMatrix::row_sum(NodeId r) const {
-  check(r < num_rows(), "StochasticMatrix::row_sum: index out of range");
+  SRSR_CHECK(r < num_rows(), "StochasticMatrix::row_sum: row ", r,
+             " out of range (", num_rows(), " rows)");
   f64 sum = 0.0;
   for (const f64 w : row_weights(r)) sum += w;
   return sum;
@@ -136,8 +144,8 @@ std::vector<f64> StochasticMatrix::row_deficits() const {
 
 void StochasticMatrix::left_multiply(std::span<const f64> x,
                                      std::span<f64> y) const {
-  check(x.size() == num_rows() && y.size() == num_rows(),
-        "StochasticMatrix::left_multiply: size mismatch");
+  SRSR_CHECK(x.size() == num_rows() && y.size() == num_rows(),
+             "StochasticMatrix::left_multiply: size mismatch");
   for (f64& v : y) v = 0.0;
   for (NodeId r = 0; r < num_rows(); ++r) {
     const f64 xr = x[r];

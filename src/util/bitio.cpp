@@ -115,8 +115,11 @@ u64 BitReader::read_unary() {
 }
 
 u64 BitReader::read_gamma() {
-  const u32 len = static_cast<u32>(read_unary());
-  check(len <= 63, "BitReader::read_gamma: corrupt length");
+  // Validate BEFORE narrowing: a corrupt unary run of 2^32 + 5 would
+  // otherwise truncate to 5 and sail through the length check.
+  const u64 len_raw = read_unary();
+  check(len_raw <= 63, "BitReader::read_gamma: corrupt length");
+  const u32 len = static_cast<u32>(len_raw);
   const u64 payload = read_bits(len);
   // write_gamma wrote the low len bits of v (whose bit_width is len), so
   // the implicit leading 1 sits at position len.
@@ -125,8 +128,9 @@ u64 BitReader::read_gamma() {
 }
 
 u64 BitReader::read_delta() {
-  const u32 len = static_cast<u32>(read_gamma());
-  check(len <= 63, "BitReader::read_delta: corrupt length");
+  const u64 len_raw = read_gamma();
+  check(len_raw <= 63, "BitReader::read_delta: corrupt length");
+  const u32 len = static_cast<u32>(len_raw);
   const u64 payload = read_bits(len);
   const u64 v = (1ULL << len) | payload;
   return v - 1;
@@ -134,8 +138,9 @@ u64 BitReader::read_delta() {
 
 u64 BitReader::read_zeta(u32 k) {
   check(k >= 1 && k <= 16, "BitReader::read_zeta: k must be in [1,16]");
-  const u32 h = static_cast<u32>(read_unary());
-  check(static_cast<u64>(h) * k + k <= 64, "BitReader::read_zeta: corrupt");
+  const u64 h_raw = read_unary();
+  check(h_raw * k + k <= 64, "BitReader::read_zeta: corrupt");
+  const u32 h = static_cast<u32>(h_raw);
   const u64 lo = 1ULL << (h * k);
   const u64 range_hi = (h * k + k >= 64) ? ~0ULL : (1ULL << (h * k + k));
   const u64 span = range_hi - lo;

@@ -23,11 +23,11 @@ namespace srsr {
 
 /// Maps a signed value onto unsigned so small magnitudes stay small:
 /// 0,-1,1,-2,2,... -> 0,1,2,3,4,...
-inline u64 zigzag_encode(i64 v) {
+inline u64 zigzag_encode(i64 v) noexcept {
   return (static_cast<u64>(v) << 1) ^ static_cast<u64>(v >> 63);
 }
 
-inline i64 zigzag_decode(u64 v) {
+inline i64 zigzag_decode(u64 v) noexcept {
   return static_cast<i64>(v >> 1) ^ -static_cast<i64>(v & 1);
 }
 
@@ -59,7 +59,7 @@ class BitWriter {
   std::vector<u8> finish();
 
   /// Bits written so far (excluding final padding).
-  u64 bit_count() const { return bit_count_; }
+  u64 bit_count() const noexcept { return bit_count_; }
 
  private:
   std::vector<u8> bytes_;
@@ -86,7 +86,7 @@ class BitReader {
   u64 read_delta();
   u64 read_zeta(u32 k);
 
-  u64 bit_pos() const { return pos_; }
+  u64 bit_pos() const noexcept { return pos_; }
   void seek_bit(u64 bit) {
     check(bit <= size_bits_, "BitReader::seek_bit: out of range");
     pos_ = bit;
@@ -105,7 +105,7 @@ void varint_encode(std::vector<u8>& out, u64 value);
 u64 varint_decode(const std::vector<u8>& in, std::size_t& pos);
 
 /// Position of the highest set bit (0-based); value must be non-zero.
-inline u32 bit_width_nonzero(u64 v) {
+inline u32 bit_width_nonzero(u64 v) noexcept {
   return 63u - static_cast<u32>(__builtin_clzll(v));
 }
 

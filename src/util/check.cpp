@@ -1,0 +1,62 @@
+#include "util/check.hpp"
+
+namespace srsr {
+
+namespace detail {
+
+namespace {
+
+/// Trims a source path down to the repo-relative tail ("src/..."), so
+/// messages stay readable regardless of the build's absolute paths.
+std::string_view short_path(std::string_view file) {
+  for (const std::string_view anchor :
+       {"/src/", "/tools/", "/bench/", "/tests/", "/examples/"}) {
+    const auto pos = file.rfind(anchor);
+    if (pos != std::string_view::npos) return file.substr(pos + 1);
+  }
+  const auto slash = file.rfind('/');
+  return slash == std::string_view::npos ? file : file.substr(slash + 1);
+}
+
+}  // namespace
+
+void throw_contract_violation(const char* file, int line, const char* expr,
+                              const std::string& msg) {
+  std::ostringstream os;
+  os << "contract violation at " << short_path(file) << ':' << line << ": `"
+     << expr << '`';
+  if (!msg.empty()) os << " — " << msg;
+  throw ContractViolation(file, line, os.str());
+}
+
+}  // namespace detail
+
+void validate_kappa(std::span<const f64> kappa, const char* what) {
+  for (std::size_t i = 0; i < kappa.size(); ++i) {
+    const f64 k = kappa[i];
+    SRSR_CHECK(std::isfinite(k), what, "[", i, "] is not finite");
+    SRSR_CHECK(k >= 0.0 && k <= 1.0, what, "[", i, "] = ", k,
+               " outside [0,1] (Sec. 3.3 throttling-factor contract)");
+  }
+}
+
+void validate_probability_vector(std::span<const f64> v, f64 tol,
+                                 const char* what) {
+  f64 sum = 0.0;
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    SRSR_CHECK(std::isfinite(v[i]), what, "[", i, "] is not finite");
+    SRSR_CHECK(v[i] >= 0.0, what, "[", i, "] = ", v[i], " is negative");
+    sum += v[i];
+  }
+  if (v.empty()) return;
+  SRSR_CHECK(sum >= 1.0 - tol && sum <= 1.0 + tol, what, " sums to ", sum,
+             ", expected 1 within ", tol);
+}
+
+void validate_in_range(f64 value, f64 lo, f64 hi, const char* what) {
+  SRSR_CHECK(std::isfinite(value), what, " is not finite");
+  SRSR_CHECK(value >= lo && value <= hi, what, " = ", value,
+             " outside [", lo, ", ", hi, "]");
+}
+
+}  // namespace srsr

@@ -1,0 +1,177 @@
+// Checked contracts for the srsr API surface.
+//
+// Every guarantee in the paper rests on two invariants staying true end
+// to end: the transition matrices T'/T'' are row-(sub)stochastic (each
+// row sums to at most 1, Eq. 2-3) and every throttling factor kappa_i
+// lies in [0,1] (Sec. 3.3). This header is the single place those
+// invariants are spelled out as code:
+//
+//   SRSR_CHECK(cond, msg...)   always-on precondition check; throws
+//                              srsr::ContractViolation carrying
+//                              file:line, the failed expression, and a
+//                              streamed message. Used on every public
+//                              entry point that consumes or produces a
+//                              stochastic object.
+//   SRSR_DCHECK(cond, msg...)  debug/sanitizer-build check for O(V) or
+//                              O(E) validation too expensive for release
+//                              hot paths. Compiles to an unevaluated
+//                              no-op in release builds: the condition is
+//                              still type-checked (so it cannot rot) but
+//                              never executed, and side effects in the
+//                              condition are NOT performed. Enabled when
+//                              SRSR_DCHECK_ENABLED is defined non-zero
+//                              (the build does this for Debug and all
+//                              sanitizer configurations).
+//
+// Domain validators wrap the recurring contracts. The matrix/plan
+// validators are templates over the duck-typed interface (num_rows /
+// row_weights; off_scale / diagonal / deficit) so this header stays in
+// util without depending on rank — rank, core and graph all include it.
+//
+// ContractViolation derives from srsr::Error, so existing call sites
+// that catch Error keep working unchanged.
+#pragma once
+
+#include <cmath>
+#include <span>
+#include <sstream>
+#include <string>
+
+#include "util/common.hpp"
+
+#if !defined(SRSR_DCHECK_ENABLED)
+#define SRSR_DCHECK_ENABLED 0
+#endif
+
+namespace srsr {
+
+/// Thrown by SRSR_CHECK / SRSR_DCHECK and the validate_* helpers.
+class ContractViolation : public Error {
+ public:
+  ContractViolation(const char* file, int line, const std::string& what)
+      : Error(what), file_(file), line_(line) {}
+
+  const char* file() const noexcept { return file_; }
+  int line() const noexcept { return line_; }
+
+ private:
+  const char* file_;
+  int line_;
+};
+
+namespace detail {
+
+/// Streams the message parts; returns "" for the zero-argument form.
+template <typename... Args>
+std::string contract_message(Args&&... args) {
+  if constexpr (sizeof...(Args) == 0) {
+    return std::string();
+  } else {
+    std::ostringstream os;
+    (os << ... << args);
+    return os.str();
+  }
+}
+
+[[noreturn]] void throw_contract_violation(const char* file, int line,
+                                           const char* expr,
+                                           const std::string& msg);
+
+}  // namespace detail
+
+// Always-on contract check. `cond` is evaluated exactly once; message
+// arguments are only evaluated on failure.
+#define SRSR_CHECK(cond, ...)                                         \
+  do {                                                                \
+    if (!(cond)) [[unlikely]] {                                       \
+      ::srsr::detail::throw_contract_violation(                       \
+          __FILE__, __LINE__, #cond,                                  \
+          ::srsr::detail::contract_message(__VA_ARGS__));             \
+    }                                                                 \
+  } while (false)
+
+// Debug/sanitizer-build contract check; unevaluated no-op in release
+// (see the header comment — the expression stays type-checked, its side
+// effects do not run).
+#if SRSR_DCHECK_ENABLED
+#define SRSR_DCHECK(cond, ...) SRSR_CHECK(cond, __VA_ARGS__)
+#else
+#define SRSR_DCHECK(cond, ...) \
+  static_cast<void>(sizeof(static_cast<bool>(cond)))
+#endif
+
+// Runs a statement (typically a validate_* call over a whole matrix or
+// vector) only in DCHECK builds. For O(V)/O(E) validation that would
+// tax release hot paths but should gate every sanitizer run.
+#if SRSR_DCHECK_ENABLED
+#define SRSR_DEBUG_VALIDATE(...) __VA_ARGS__
+#else
+#define SRSR_DEBUG_VALIDATE(...) static_cast<void>(0)
+#endif
+
+/// True when SRSR_DCHECK compiles to a live check in this build.
+inline constexpr bool dchecks_enabled() { return SRSR_DCHECK_ENABLED != 0; }
+
+/// kappa_i finite and in [0,1] for every entry (Sec. 3.3 precondition).
+void validate_kappa(std::span<const f64> kappa,
+                    const char* what = "kappa");
+
+/// Entries finite and non-negative, total in [1-tol, 1+tol] — the shape
+/// of every rank vector, teleport distribution and proximity score set.
+void validate_probability_vector(std::span<const f64> v, f64 tol = 1e-6,
+                                 const char* what = "probability vector");
+
+/// A single scalar in [lo, hi] and finite (alpha, beta, tolerances).
+void validate_in_range(f64 value, f64 lo, f64 hi, const char* what);
+
+/// Row-(sub)stochastic contract of a CSR matrix: every weight finite and
+/// non-negative, every row sum <= 1 + tol. Rows summing below 1 are
+/// legal deficit rows (dangling pages, teleport-discard throttling) —
+/// the solvers surrender the missing mass to the teleport distribution.
+/// O(E); release code paths guard calls with SRSR_DCHECK or pay the
+/// pass once at a true API boundary.
+template <typename Matrix>
+void validate_row_stochastic(const Matrix& m, f64 tol = 1e-9,
+                             const char* what = "matrix") {
+  const NodeId n = m.num_rows();
+  for (NodeId r = 0; r < n; ++r) {
+    f64 sum = 0.0;
+    for (const f64 w : m.row_weights(r)) {
+      SRSR_CHECK(std::isfinite(w), what, ": row ", r,
+                 " has a non-finite weight");
+      SRSR_CHECK(w >= 0.0, what, ": row ", r, " has negative weight ", w);
+      sum += w;
+    }
+    SRSR_CHECK(sum <= 1.0 + tol, what, ": row ", r, " sums to ", sum,
+               ", expected <= 1 (row-stochastic contract)");
+  }
+}
+
+/// RowAffinePlan contract: all three vectors sized `n`, off-diagonal
+/// scales finite and non-negative, diagonal overrides and cached
+/// deficits finite probabilities. A plan violating this silently
+/// corrupts every pull through a ThrottledView, so the view re-checks on
+/// every reset_plan().
+template <typename Plan>
+void validate_plan(const Plan& plan, NodeId n, f64 tol = 1e-9,
+                   const char* what = "RowAffinePlan") {
+  SRSR_CHECK(plan.off_scale.size() == n && plan.diagonal.size() == n &&
+                 plan.deficit.size() == n,
+             what, ": plan vectors must all have ", n, " rows");
+  for (NodeId r = 0; r < n; ++r) {
+    const f64 scale = plan.off_scale[r];
+    const f64 diag = plan.diagonal[r];
+    const f64 deficit = plan.deficit[r];
+    SRSR_CHECK(std::isfinite(scale) && scale >= 0.0, what, ": row ", r,
+               " off_scale ", scale, " out of range (want finite, >= 0)");
+    SRSR_CHECK(std::isfinite(diag) && diag >= 0.0 && diag <= 1.0 + tol,
+               what, ": row ", r, " diagonal ", diag,
+               " out of range (want [0,1], from kappa in [0,1])");
+    SRSR_CHECK(std::isfinite(deficit) && deficit >= 0.0 &&
+                   deficit <= 1.0 + tol,
+               what, ": row ", r, " deficit ", deficit,
+               " out of range (want [0,1])");
+  }
+}
+
+}  // namespace srsr

@@ -1,6 +1,8 @@
 #include "util/strings.hpp"
 
 #include <cctype>
+#include <charconv>
+#include <cmath>
 
 namespace srsr {
 
@@ -34,7 +36,7 @@ std::string to_lower(std::string_view s) {
   return out;
 }
 
-bool starts_with(std::string_view s, std::string_view prefix) {
+bool starts_with(std::string_view s, std::string_view prefix) noexcept {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
 
@@ -47,6 +49,18 @@ u64 parse_u64(std::string_view s) {
     check(out <= (~0ULL - digit) / 10, "parse_u64: overflow in '" + std::string(s) + "'");
     out = out * 10 + digit;
   }
+  return out;
+}
+
+f64 parse_f64(std::string_view s) {
+  const std::string_view t = trim(s);
+  check(!t.empty(), "parse_f64: empty input");
+  f64 out = 0.0;
+  const auto [ptr, ec] = std::from_chars(t.data(), t.data() + t.size(), out);
+  check(ec == std::errc() && ptr == t.data() + t.size(),
+        "parse_f64: malformed number '" + std::string(s) + "'");
+  check(std::isfinite(out),
+        "parse_f64: non-finite value '" + std::string(s) + "'");
   return out;
 }
 

@@ -21,12 +21,19 @@ std::string_view trim(std::string_view s);
 /// ASCII lower-casing (URLs / hostnames only; no locale).
 std::string to_lower(std::string_view s);
 
-bool starts_with(std::string_view s, std::string_view prefix);
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
 
 /// Parses a non-negative integer; throws srsr::Error on malformed input
 /// or overflow. Used by the edge-list readers, where silent garbage-in
 /// must not become garbage graph structure.
 u64 parse_u64(std::string_view s);
+
+/// Parses a finite double; throws srsr::Error on malformed or trailing
+/// input and on values that parse to inf/NaN. The checked counterpart
+/// of std::stod for CLI options and data files — an unparseable alpha
+/// must fail loudly, not fall through as 0.0 or raise a bare
+/// std::invalid_argument with no context.
+f64 parse_f64(std::string_view s);
 
 /// Extracts the host component of a URL, lower-cased:
 ///   "HTTP://WWW.Example.com:8080/a/b?q" -> "www.example.com"

@@ -1,0 +1,255 @@
+// Tests for the contract layer (util/check.hpp): macro semantics,
+// release-mode SRSR_DCHECK elision, the domain validators, and the
+// negative paths where core/rank entry points must reject bad inputs.
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/kappa.hpp"
+#include "core/throttle.hpp"
+#include "rank/operator.hpp"
+#include "rank/stochastic.hpp"
+
+namespace srsr {
+namespace {
+
+constexpr f64 kNaN = std::numeric_limits<f64>::quiet_NaN();
+constexpr f64 kInf = std::numeric_limits<f64>::infinity();
+
+// ---------------------------------------------------------------- macros
+
+TEST(SrsrCheck, PassingConditionIsQuiet) {
+  EXPECT_NO_THROW(SRSR_CHECK(1 + 1 == 2));
+  EXPECT_NO_THROW(SRSR_CHECK(true, "never formatted"));
+}
+
+TEST(SrsrCheck, FailureThrowsContractViolation) {
+  EXPECT_THROW(SRSR_CHECK(false), ContractViolation);
+  // ...which derives from srsr::Error, so existing catch sites hold.
+  EXPECT_THROW(SRSR_CHECK(false), Error);
+}
+
+TEST(SrsrCheck, MessageCarriesExpressionFileLineAndStreamedArgs) {
+  try {
+    SRSR_CHECK(2 < 1, "lhs = ", 2, ", rhs = ", 1);
+    FAIL() << "SRSR_CHECK did not throw";
+  } catch (const ContractViolation& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("2 < 1"), std::string::npos) << what;
+    EXPECT_NE(what.find("util_check_test.cpp"), std::string::npos) << what;
+    EXPECT_NE(what.find("lhs = 2, rhs = 1"), std::string::npos) << what;
+    EXPECT_NE(std::string(e.file()).find("util_check_test.cpp"),
+              std::string::npos);
+    EXPECT_GT(e.line(), 0);
+  }
+}
+
+TEST(SrsrCheck, ZeroArgumentMessageForm) {
+  try {
+    SRSR_CHECK(false);
+    FAIL() << "SRSR_CHECK did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_NE(std::string(e.what()).find("false"), std::string::npos);
+  }
+}
+
+TEST(SrsrCheck, ConditionEvaluatedExactlyOnce) {
+  int evaluations = 0;
+  SRSR_CHECK([&] {
+    ++evaluations;
+    return true;
+  }());
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST(SrsrCheck, MessageArgsNotEvaluatedOnSuccess) {
+  int formatted = 0;
+  const auto count = [&] {
+    ++formatted;
+    return 0;
+  };
+  SRSR_CHECK(true, "value ", count());
+  EXPECT_EQ(formatted, 0);
+  EXPECT_THROW(SRSR_CHECK(false, "value ", count()), ContractViolation);
+  EXPECT_EQ(formatted, 1);
+}
+
+TEST(SrsrDcheck, ElidedInReleaseLiveInDebug) {
+  // In DCHECK builds the condition runs and a failure throws; in release
+  // builds the expression is an unevaluated operand — still
+  // type-checked, but the side effect below must NOT happen. This is
+  // the release-elision contract from the header.
+  int evaluations = 0;
+  const auto touch = [&] {
+    ++evaluations;
+    return true;
+  };
+  SRSR_DCHECK(touch());
+  EXPECT_EQ(evaluations, dchecks_enabled() ? 1 : 0);
+
+  if (dchecks_enabled()) {
+    EXPECT_THROW(SRSR_DCHECK(false), ContractViolation);
+  } else {
+    EXPECT_NO_THROW(SRSR_DCHECK(false));
+  }
+}
+
+TEST(SrsrDebugValidate, RunsOnlyInDcheckBuilds) {
+  int runs = 0;
+  SRSR_DEBUG_VALIDATE([&] { ++runs; }());
+  EXPECT_EQ(runs, dchecks_enabled() ? 1 : 0);
+}
+
+// ------------------------------------------------------------ validators
+
+TEST(ValidateKappa, AcceptsUnitIntervalRejectsOutside) {
+  const std::vector<f64> ok{0.0, 0.5, 1.0};
+  EXPECT_NO_THROW(validate_kappa(ok));
+  EXPECT_NO_THROW(validate_kappa(std::vector<f64>{}));  // empty is legal
+
+  EXPECT_THROW(validate_kappa(std::vector<f64>{-0.001}), ContractViolation);
+  EXPECT_THROW(validate_kappa(std::vector<f64>{1.001}), ContractViolation);
+  EXPECT_THROW(validate_kappa(std::vector<f64>{0.5, kNaN}),
+               ContractViolation);
+  EXPECT_THROW(validate_kappa(std::vector<f64>{kInf}), ContractViolation);
+}
+
+TEST(ValidateProbabilityVector, ToleranceOnTheTotal) {
+  const std::vector<f64> uniform(4, 0.25);
+  EXPECT_NO_THROW(validate_probability_vector(uniform));
+  EXPECT_NO_THROW(validate_probability_vector(std::vector<f64>{}));
+
+  // Off by more than tol: rejected. Within a loose tol: accepted.
+  const std::vector<f64> short_mass{0.5, 0.4};
+  EXPECT_THROW(validate_probability_vector(short_mass, 1e-6),
+               ContractViolation);
+  EXPECT_NO_THROW(validate_probability_vector(short_mass, 0.2));
+
+  EXPECT_THROW(validate_probability_vector(std::vector<f64>{1.5, -0.5}),
+               ContractViolation);
+  EXPECT_THROW(validate_probability_vector(std::vector<f64>{kNaN, 1.0}),
+               ContractViolation);
+}
+
+TEST(ValidateInRange, BoundsInclusiveNonFiniteRejected) {
+  EXPECT_NO_THROW(validate_in_range(0.85, 0.0, 1.0, "alpha"));
+  EXPECT_NO_THROW(validate_in_range(0.0, 0.0, 1.0, "alpha"));
+  EXPECT_NO_THROW(validate_in_range(1.0, 0.0, 1.0, "alpha"));
+  EXPECT_THROW(validate_in_range(1.0001, 0.0, 1.0, "alpha"),
+               ContractViolation);
+  EXPECT_THROW(validate_in_range(kNaN, 0.0, 1.0, "alpha"),
+               ContractViolation);
+}
+
+// Duck-typed stand-in: lets the template validator see rows that the
+// StochasticMatrix constructor would already have rejected.
+struct FakeMatrix {
+  std::vector<std::vector<f64>> rows;
+  NodeId num_rows() const { return static_cast<NodeId>(rows.size()); }
+  std::span<const f64> row_weights(NodeId r) const { return rows[r]; }
+};
+
+TEST(ValidateRowStochastic, AcceptsDeficitRowsRejectsExcessMass) {
+  EXPECT_NO_THROW(validate_row_stochastic(
+      FakeMatrix{{{0.3, 0.7}, {0.4}, {}}}));  // full, deficit, dangling
+  EXPECT_THROW(validate_row_stochastic(FakeMatrix{{{0.9, 0.2}}}),
+               ContractViolation);
+  EXPECT_THROW(validate_row_stochastic(FakeMatrix{{{-0.1, 0.5}}}),
+               ContractViolation);
+  EXPECT_THROW(validate_row_stochastic(FakeMatrix{{{kNaN}}}),
+               ContractViolation);
+}
+
+TEST(ValidatePlan, ShapeAndRangeChecks) {
+  rank::RowAffinePlan plan;
+  plan.off_scale = {1.0, 0.5};
+  plan.diagonal = {0.0, 0.5};
+  plan.deficit = {0.0, 0.0};
+  EXPECT_NO_THROW(validate_plan(plan, 2));
+  EXPECT_THROW(validate_plan(plan, 3), ContractViolation);  // size mismatch
+
+  auto bad = plan;
+  bad.off_scale[0] = -1.0;
+  EXPECT_THROW(validate_plan(bad, 2), ContractViolation);
+  bad = plan;
+  bad.diagonal[1] = 1.5;
+  EXPECT_THROW(validate_plan(bad, 2), ContractViolation);
+  bad = plan;
+  bad.deficit[0] = kNaN;
+  EXPECT_THROW(validate_plan(bad, 2), ContractViolation);
+}
+
+// ----------------------------------------- contracts at core/rank edges
+
+TEST(RankContracts, MatrixConstructorRejectsNonStochasticRow) {
+  // Row sums to 1.8 — the Eq. 2 row-stochastic precondition must fire.
+  EXPECT_THROW(rank::StochasticMatrix({0, 2}, {0, 1}, {0.9, 0.9}),
+               ContractViolation);
+  EXPECT_THROW(rank::StochasticMatrix({0, 1}, {0}, {kNaN}),
+               ContractViolation);
+}
+
+TEST(RankContracts, WeightRejectsOutOfRangeIndices) {
+  const rank::StochasticMatrix m({0, 1, 3}, {1, 0, 1}, {1.0, 0.3, 0.7});
+  EXPECT_THROW(m.weight(2, 0), ContractViolation);  // row out of range
+  EXPECT_THROW(m.weight(0, 2), ContractViolation);  // col out of range
+  EXPECT_NO_THROW(m.weight(1, 1));
+}
+
+TEST(RankContracts, ResetPlanValidatesEagerly) {
+  const rank::StochasticMatrix base({0, 1, 3}, {1, 0, 1}, {1.0, 0.3, 0.7});
+  const rank::StochasticMatrix transpose = base.transpose();
+  rank::RowAffinePlan identity;
+  identity.off_scale = {1.0, 1.0};
+  identity.diagonal = {0.0, 0.7};
+  identity.deficit = {0.0, 0.0};
+  rank::ThrottledView view(base, transpose, identity);
+
+  rank::RowAffinePlan wrong_size = identity;
+  wrong_size.off_scale.pop_back();
+  EXPECT_THROW(view.reset_plan(wrong_size), ContractViolation);
+
+  rank::RowAffinePlan nan_plan = identity;
+  nan_plan.diagonal[0] = kNaN;
+  EXPECT_THROW(view.reset_plan(nan_plan), ContractViolation);
+
+  EXPECT_NO_THROW(view.reset_plan(identity));
+}
+
+TEST(CoreContracts, KappaPoliciesRejectNaNInputs) {
+  EXPECT_THROW(core::kappa_uniform(3, kNaN), ContractViolation);
+  EXPECT_THROW(core::kappa_uniform(3, 1.5), ContractViolation);
+
+  const std::vector<f64> prox{0.3, kNaN, 0.1};
+  EXPECT_THROW(core::kappa_top_k(prox, 1), ContractViolation);
+  EXPECT_THROW(core::kappa_top_k(std::vector<f64>{0.1}, 2),
+               ContractViolation);  // k > n
+  EXPECT_THROW(core::kappa_threshold(prox, kNaN), ContractViolation);
+  EXPECT_THROW(core::kappa_proportional(std::vector<f64>{0.1}, 0.0),
+               ContractViolation);
+}
+
+TEST(CoreContracts, ThrottlePlanRejectsBadKappa) {
+  const rank::StochasticMatrix base({0, 1, 3}, {1, 0, 1}, {1.0, 0.3, 0.7});
+  const auto stats = core::ThrottleRowStats::of(base);
+
+  const std::vector<f64> nan_kappa{0.5, kNaN};
+  EXPECT_THROW(core::make_throttle_plan(stats, nan_kappa,
+                                        core::ThrottleMode::kSelfAbsorb),
+               ContractViolation);
+  const std::vector<f64> short_kappa{0.5};
+  EXPECT_THROW(core::make_throttle_plan(stats, short_kappa,
+                                        core::ThrottleMode::kSelfAbsorb),
+               ContractViolation);
+
+  const std::vector<f64> ok{0.5, 0.25};
+  EXPECT_NO_THROW(core::make_throttle_plan(
+      stats, ok, core::ThrottleMode::kTeleportDiscard));
+}
+
+}  // namespace
+}  // namespace srsr

@@ -93,7 +93,10 @@ class Args {
   }
 
   f64 get_f64(const std::string& key, f64 fallback) const {
-    return has(key) ? std::stod(values_.at(key)) : fallback;
+    // parse_f64 throws srsr::Error with the offending text; std::stod
+    // would throw a context-free std::invalid_argument (or silently
+    // accept trailing garbage like "0.85x").
+    return has(key) ? parse_f64(values_.at(key)) : fallback;
   }
 
  private:
