@@ -13,6 +13,25 @@ stage() { echo; echo "=== ci: $1 ==="; }
 stage "configure + build + unit tests + sanitizers (scripts/check.sh)"
 scripts/check.sh
 
+stage "serve end-to-end smoke (srsr_cli serve)"
+# A scripted query session against a fresh crawl: the service must come
+# up, answer a top-k query, publish a recompute mid-session, and shut
+# down cleanly. check.sh built build/ above.
+SERVE_DIR=$(mktemp -d)
+trap 'rm -rf "$SERVE_DIR"' EXIT
+./build/tools/srsr_cli generate --out "$SERVE_DIR" --sources 200 --spam 10 --seed 11
+SERVE_OUT=$(printf 'top 5\nrecompute 0.5\nstats\nquit\n' \
+  | ./build/tools/srsr_cli serve --in "$SERVE_DIR")
+echo "$SERVE_OUT"
+echo "$SERVE_OUT" | grep -q "serve ready: 200 sources, epoch 1" \
+  || { echo "ci: serve did not come up" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -qE "^5 " \
+  || { echo "ci: serve top 5 missing rank-5 line" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -qE "published epoch 2 \([0-9]+ iterations, converged" \
+  || { echo "ci: serve recompute did not publish" >&2; exit 1; }
+echo "$SERVE_OUT" | grep -q "^bye$" \
+  || { echo "ci: serve did not shut down cleanly" >&2; exit 1; }
+
 stage "clang-tidy (scripts/tidy.sh)"
 scripts/tidy.sh
 

@@ -85,6 +85,14 @@ class SpamResilientSourceRank {
   /// Ranks sources under the given throttling vector.
   rank::RankResult rank(std::span<const f64> kappa) const;
 
+  /// Warm-started variant: starts the iteration from `warm_start`
+  /// (normalized before use, typically the previous solve's sigma).
+  /// The fixed point is unchanged; iteration counts drop sharply when
+  /// the policy moved only a little — the serve layer's recompute path
+  /// and the warm-start ablation ride this.
+  rank::RankResult rank(std::span<const f64> kappa,
+                        std::span<const f64> warm_start) const;
+
   /// Baseline SourceRank: no throttling information (kappa = 0).
   rank::RankResult rank_baseline() const;
 
@@ -102,7 +110,8 @@ class SpamResilientSourceRank {
       const SpamProximityConfig& proximity_config = {}) const;
 
  private:
-  rank::RankResult solve(const rank::TransitionOperator& op) const;
+  rank::RankResult solve(const rank::TransitionOperator& op,
+                         std::span<const f64> warm_start = {}) const;
 
   SrsrConfig config_;
   SourceGraph source_graph_;

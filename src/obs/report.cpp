@@ -88,10 +88,26 @@ void RunReport::write(const std::string& path) const {
     std::error_code ec;  // surfaced via the open check below, not a throw
     std::filesystem::create_directories(p.parent_path(), ec);
   }
-  std::ofstream out(p);
-  check(out.good(), "RunReport::write: cannot open " + path);
-  out << to_json() << '\n';
-  check(out.good(), "RunReport::write: failed writing " + path);
+  // Write-temp-then-rename: a reader (e.g. the serve layer or a
+  // dashboard tailing bench_out/) must never observe a truncated
+  // report, even if this process dies mid-write. rename(2) within one
+  // directory is atomic on POSIX.
+  const std::filesystem::path tmp(path + ".tmp");
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    check(out.good(), "RunReport::write: cannot open " + tmp.string());
+    out << to_json() << '\n';
+    out.flush();
+    check(out.good(), "RunReport::write: failed writing " + tmp.string());
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, p, ec);
+  if (ec) {
+    std::error_code ignored;  // best effort; keep the rename error primary
+    std::filesystem::remove(tmp, ignored);
+    check(false, "RunReport::write: cannot rename " + tmp.string() +
+                     " to " + path + ": " + ec.message());
+  }
 }
 
 }  // namespace srsr::obs

@@ -72,7 +72,11 @@ RankResult iterate(const TransitionOperator& op, const SolverConfig& config,
   for (u32 iter = 0; iter < config.convergence.max_iterations; ++iter) {
     f64 deficit_mass = 0.0;
     if (complete_deficits) {
-      deficit_mass = parallel_sum(
+      // Deterministic variant: the deficit mass feeds every score (and
+      // through them the residual trace), so its rounding must not
+      // depend on the thread count — solver traces replay bit-identically
+      // on any machine.
+      deficit_mass = parallel_sum_deterministic(
           0, n, [&](std::size_t r) { return cur[r] * deficits[r]; });
     }
 

@@ -1,0 +1,139 @@
+#include "serve/query.hpp"
+
+#include "obs/metrics.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace srsr::serve {
+
+namespace {
+
+/// Registry handles for one query kind, resolved once (registry lookup
+/// takes a mutex; the record path must not).
+struct QueryInstruments {
+  obs::Counter& hits;
+  obs::Histogram& seconds;
+};
+
+QueryInstruments& instruments(const char* kind) {
+  auto make = [](const char* k) {
+    const std::string prefix = std::string("srsr.serve.query.") + k;
+    auto& reg = obs::MetricsRegistry::instance();
+    return QueryInstruments{reg.counter(prefix + ".count"),
+                            reg.histogram(prefix + ".seconds",
+                                          query_seconds_buckets())};
+  };
+  static QueryInstruments score = make("score");
+  static QueryInstruments top_k = make("top_k");
+  static QueryInstruments rank_of = make("rank_of");
+  static QueryInstruments compare = make("compare");
+  switch (kind[0]) {
+    case 's': return score;
+    case 't': return top_k;
+    case 'r': return rank_of;
+    default: return compare;
+  }
+}
+
+/// Times one query and records it on scope exit when telemetry is on.
+class QueryTimer {
+ public:
+  explicit QueryTimer(const char* kind) : kind_(kind) {}
+  ~QueryTimer() {
+    if (!obs::metrics_enabled()) return;
+    auto& inst = instruments(kind_);
+    inst.hits.add();
+    inst.seconds.observe(timer_.seconds());
+  }
+
+ private:
+  const char* kind_;
+  WallTimer timer_;
+};
+
+}  // namespace
+
+std::vector<f64> query_seconds_buckets() {
+  return {1e-7, 3e-7, 1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 1e-2, 1e-1};
+}
+
+QueryEngine::QueryEngine(const SnapshotStore& store, SnapshotPtr baseline)
+    : store_(&store), baseline_(std::move(baseline)) {}
+
+std::optional<f64> QueryEngine::score(NodeId source) const {
+  const QueryTimer timer("score");
+  const SnapshotPtr snap = store_->current();
+  if (!snap || source >= snap->num_sources()) return std::nullopt;
+  return snap->score(source);
+}
+
+std::optional<f64> QueryEngine::score(const std::string& host) const {
+  const QueryTimer timer("score");
+  const SnapshotPtr snap = store_->current();
+  if (!snap) return std::nullopt;
+  const auto id = snap->id_of(host);
+  if (!id) return std::nullopt;
+  return snap->score(*id);
+}
+
+std::vector<ScoredEntry> QueryEngine::top_k(u32 k) const {
+  const QueryTimer timer("top_k");
+  const SnapshotPtr snap = store_->current();
+  std::vector<ScoredEntry> out;
+  if (!snap) return out;
+  const auto top = snap->top(k);
+  out.reserve(top.size());
+  for (u32 pos = 0; pos < top.size(); ++pos) {
+    const NodeId s = top[pos];
+    out.push_back({s, snap->host(s), snap->score(s), pos + 1});
+  }
+  return out;
+}
+
+std::optional<u32> QueryEngine::rank_of(NodeId source) const {
+  const QueryTimer timer("rank_of");
+  const SnapshotPtr snap = store_->current();
+  if (!snap || source >= snap->num_sources()) return std::nullopt;
+  return snap->rank_of(source);
+}
+
+std::optional<u32> QueryEngine::rank_of(const std::string& host) const {
+  const QueryTimer timer("rank_of");
+  const SnapshotPtr snap = store_->current();
+  if (!snap) return std::nullopt;
+  const auto id = snap->id_of(host);
+  if (!id) return std::nullopt;
+  return snap->rank_of(*id);
+}
+
+std::optional<CompareEntry> QueryEngine::compare(NodeId source) const {
+  const QueryTimer timer("compare");
+  const SnapshotPtr snap = store_->current();
+  if (!snap || !baseline_ || source >= snap->num_sources())
+    return std::nullopt;
+  SRSR_CHECK(baseline_->num_sources() == snap->num_sources(),
+             "QueryEngine::compare: baseline covers ",
+             baseline_->num_sources(), " sources, live snapshot ",
+             snap->num_sources());
+  CompareEntry e;
+  e.source = source;
+  e.host = snap->host(source);
+  e.baseline_score = baseline_->score(source);
+  e.score = snap->score(source);
+  e.delta = e.score - e.baseline_score;
+  e.baseline_rank = baseline_->rank_of(source);
+  e.rank = snap->rank_of(source);
+  e.rank_change = static_cast<i64>(e.rank) - static_cast<i64>(e.baseline_rank);
+  e.epoch = snap->meta().epoch;
+  return e;
+}
+
+std::optional<CompareEntry> QueryEngine::compare(const std::string& host) const {
+  const SnapshotPtr snap = store_->current();
+  if (!snap) return std::nullopt;
+  const auto id = snap->id_of(host);
+  if (!id) return std::nullopt;
+  return compare(*id);
+}
+
+}  // namespace srsr::serve

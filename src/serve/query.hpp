@@ -1,0 +1,94 @@
+// QueryEngine — the online read path over a SnapshotStore.
+//
+// Four query shapes, matching what a ranking front-end asks:
+//
+//   score(source)        sigma of one source;
+//   top_k(k)             the k best-ranked sources with scores;
+//   rank_of(source)      1-based position in the live ranking;
+//   compare(source)      spam-demotion view: the source's score/rank in
+//                        a fixed baseline snapshot (kappa = 0) vs the
+//                        live throttled snapshot — the per-source delta
+//                        the paper's Figs. 4-7 aggregate.
+//
+// Every query acquires the live snapshot exactly once, so all values
+// in one result come from one epoch even while the RecomputePipeline
+// publishes underneath. Sources can be addressed by NodeId or host
+// name; lookups that miss return nullopt instead of throwing (a
+// serving layer treats unknown keys as data, not programmer error).
+//
+// Per-query latency lands in obs::MetricsRegistry histograms
+// ("srsr.serve.query.<kind>.seconds", microsecond-resolution buckets)
+// plus a per-kind hit counter — enabled only when telemetry is on,
+// costing one relaxed load otherwise (the metrics contract).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/store.hpp"
+#include "util/common.hpp"
+
+namespace srsr::serve {
+
+/// One row of a top_k() result. Strings are copies — results stay
+/// valid after the snapshot that produced them is reclaimed.
+struct ScoredEntry {
+  NodeId source = kInvalidNode;
+  std::string host;
+  f64 score = 0.0;
+  u32 rank = 0;  // 1-based
+};
+
+/// Baseline-vs-live comparison for one source.
+struct CompareEntry {
+  NodeId source = kInvalidNode;
+  std::string host;
+  f64 baseline_score = 0.0;
+  f64 score = 0.0;   // live (throttled) snapshot
+  f64 delta = 0.0;   // score - baseline_score (negative = demoted mass)
+  u32 baseline_rank = 0;
+  u32 rank = 0;
+  i64 rank_change = 0;  // rank - baseline_rank (positive = demoted)
+  u64 epoch = 0;        // live epoch the comparison was served from
+};
+
+/// Histogram bounds for query latencies, in seconds (sub-microsecond
+/// to 100ms). The stage-timer default buckets are seconds-scale and
+/// would collapse every query into the first bucket.
+std::vector<f64> query_seconds_buckets();
+
+class QueryEngine {
+ public:
+  /// `baseline` (optional) is the fixed kappa = 0 snapshot compare()
+  /// diffs against; it must cover the same source set as the store's
+  /// snapshots. The store must outlive the engine.
+  explicit QueryEngine(const SnapshotStore& store,
+                       SnapshotPtr baseline = nullptr);
+
+  /// The live snapshot handle (nullptr before the first publish) —
+  /// for callers that need multiple lookups at one epoch.
+  SnapshotPtr snapshot() const { return store_->current(); }
+  const SnapshotPtr& baseline() const { return baseline_; }
+
+  std::optional<f64> score(NodeId source) const;
+  std::optional<f64> score(const std::string& host) const;
+
+  /// The k best-ranked sources (fewer when k > |S|); empty before the
+  /// first publish.
+  std::vector<ScoredEntry> top_k(u32 k) const;
+
+  std::optional<u32> rank_of(NodeId source) const;
+  std::optional<u32> rank_of(const std::string& host) const;
+
+  /// nullopt when there is no baseline, no live snapshot, or the
+  /// source is unknown.
+  std::optional<CompareEntry> compare(NodeId source) const;
+  std::optional<CompareEntry> compare(const std::string& host) const;
+
+ private:
+  const SnapshotStore* store_;
+  SnapshotPtr baseline_;
+};
+
+}  // namespace srsr::serve

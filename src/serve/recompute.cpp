@@ -1,0 +1,193 @@
+#include "serve/recompute.hpp"
+
+#include <utility>
+
+#include "core/kappa.hpp"
+#include "core/spam_proximity.hpp"
+#include "obs/metrics.hpp"
+#include "obs/stage_timer.hpp"
+#include "util/check.hpp"
+#include "util/log.hpp"
+
+namespace srsr::serve {
+
+namespace {
+
+/// Validates before the worker thread exists — a throw from the
+/// constructor body after std::thread started would std::terminate.
+std::vector<std::string> validated_hosts(std::vector<std::string> hosts,
+                                         NodeId num_sources) {
+  SRSR_CHECK(hosts.empty() || hosts.size() == num_sources,
+             "RecomputePipeline: ", hosts.size(), " hosts for ",
+             num_sources, " sources");
+  return hosts;
+}
+
+}  // namespace
+
+RecomputePipeline::RecomputePipeline(
+    const core::SpamResilientSourceRank& model,
+    std::vector<std::string> hosts, SnapshotStore& store,
+    RecomputeConfig config)
+    : model_(&model),
+      hosts_(validated_hosts(std::move(hosts), model.num_sources())),
+      store_(&store), config_(config), worker_([this] { worker_loop(); }) {}
+
+RecomputePipeline::~RecomputePipeline() { stop(); }
+
+void RecomputePipeline::submit(std::vector<f64> kappa, std::string policy) {
+  Update u;
+  u.kappa = std::move(kappa);
+  u.policy = std::move(policy);
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    queue_.push_back(std::move(u));
+    ++stats_.submitted;
+  }
+  wake_.notify_one();
+}
+
+void RecomputePipeline::submit_spam_labels(std::vector<NodeId> source_seeds,
+                                           u32 top_k) {
+  Update u;
+  u.seeds = std::move(source_seeds);
+  u.top_k = top_k;
+  u.from_seeds = true;
+  u.policy = "top_" + std::to_string(top_k) + "_proximity";
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) return;
+    queue_.push_back(std::move(u));
+    ++stats_.submitted;
+  }
+  wake_.notify_one();
+}
+
+void RecomputePipeline::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_.wait(lock, [this] { return queue_.empty() && !busy_; });
+}
+
+void RecomputePipeline::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stop_) {
+      // Second stop (e.g. explicit stop() then the destructor): the
+      // worker is already gone or going; just make sure it is joined.
+    } else {
+      stop_ = true;
+      stats_.coalesced += queue_.size();
+      queue_.clear();
+    }
+  }
+  wake_.notify_all();
+  idle_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+RecomputePipeline::Stats RecomputePipeline::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void RecomputePipeline::report_into(obs::RunReport& report) const {
+  const Stats s = stats();
+  report.set_meta("serve.published", s.published);
+  report.set_meta("serve.failed", s.failed);
+  report.set_meta("serve.coalesced", s.coalesced);
+  report.set_meta("serve.last_epoch", s.last_epoch);
+  if (!s.last_error.empty()) report.set_meta("serve.last_error", s.last_error);
+}
+
+void RecomputePipeline::worker_loop() {
+  for (;;) {
+    Update update;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      wake_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) break;  // stop_ set and nothing left to solve
+      // Coalesce: only the newest update matters — a recompute is a
+      // full idempotent re-solve, not an incremental delta.
+      const u64 skipped = queue_.size() - 1;
+      stats_.coalesced += skipped;
+      update = std::move(queue_.back());
+      queue_.clear();
+      busy_ = true;
+      if (skipped > 0 && obs::metrics_enabled())
+        obs::MetricsRegistry::instance()
+            .counter("srsr.serve.recompute.coalesced")
+            .add(skipped);
+    }
+    solve_and_publish(update);
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      busy_ = false;
+    }
+    idle_.notify_all();
+  }
+}
+
+void RecomputePipeline::solve_and_publish(const Update& update) {
+  obs::StageTimer stage("serve.recompute");
+  auto fail = [this](const std::string& why) {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.failed;
+      stats_.last_error = why;
+    }
+    if (obs::metrics_enabled())
+      obs::MetricsRegistry::instance()
+          .counter("srsr.serve.recompute.failed")
+          .add();
+    log_warn("serve: recompute failed, keeping epoch ", store_->epoch(),
+             " live: ", why);
+  };
+
+  try {
+    std::vector<f64> kappa;
+    if (update.from_seeds) {
+      const auto prox = core::spam_proximity(
+          model_->source_graph().topology(), update.seeds);
+      kappa = core::kappa_top_k(prox.scores, update.top_k);
+    } else {
+      kappa = update.kappa;
+    }
+
+    SnapshotBuild build;
+    build.policy = update.policy;
+    build.path = config_.path;
+    // Warm start from the live sigma: the next fixed point is close
+    // when the policy moved a little, so iterations drop sharply (the
+    // ablation_warmstart bench quantifies it). The handle also keeps
+    // the old epoch alive until the solve is done.
+    const SnapshotPtr live = store_->current();
+    if (config_.warm_start && live) build.warm_start = live->scores();
+
+    RankSnapshot snapshot =
+        make_snapshot(*model_, kappa, hosts_, build);
+    if (config_.require_convergence && !snapshot.meta().converged) {
+      fail("solve did not converge after " +
+           std::to_string(snapshot.meta().iterations) + " iterations");
+      return;
+    }
+    const u64 epoch = store_->publish(std::move(snapshot));
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.published;
+      stats_.last_epoch = epoch;
+      stats_.last_error.clear();
+    }
+    if (obs::metrics_enabled()) {
+      auto& reg = obs::MetricsRegistry::instance();
+      reg.counter("srsr.serve.recompute.published").add();
+      reg.gauge("srsr.serve.snapshot.epoch").set(static_cast<f64>(epoch));
+    }
+  } catch (const std::exception& e) {
+    // Bad kappa vectors and contract violations surface here; the old
+    // snapshot stays live.
+    fail(e.what());
+  }
+}
+
+}  // namespace srsr::serve

@@ -102,6 +102,72 @@ if(rc EQUAL 0)
   message(FATAL_ERROR "sweep with an unknown --mode should fail")
 endif()
 
+# serve: a scripted line-oriented query session against the crawl.
+# Covers the full request surface (top/score/rank/compare/info/stats),
+# a mid-session recompute (epoch 2 publishes while the session runs),
+# and clean shutdown via `quit`.
+set(SESSION "${DIR}/serve_session.txt")
+file(WRITE "${SESSION}" "top 3
+score www.host0000042.example
+rank www.host0000042.example
+compare www.host0000042.example
+recompute 0.5
+info
+stats
+quit
+")
+execute_process(COMMAND "${CLI}" serve --in "${DIR}"
+                INPUT_FILE "${SESSION}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "srsr_cli serve session failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "serve ready: 150 sources, epoch 1")
+  message(FATAL_ERROR "serve did not come up:\n${out}")
+endif()
+if(NOT out MATCHES "\n1 [^\n]*\n2 [^\n]*\n3 ")
+  message(FATAL_ERROR "serve top 3 should list ranks 1..3:\n${out}")
+endif()
+if(NOT out MATCHES "www\\.host0000042\\.example rank [0-9]+ of 150")
+  message(FATAL_ERROR "serve rank output malformed:\n${out}")
+endif()
+if(NOT out MATCHES "rank_change")
+  message(FATAL_ERROR "serve compare output malformed:\n${out}")
+endif()
+if(NOT out MATCHES "published epoch 2 \\([0-9]+ iterations, converged")
+  message(FATAL_ERROR "serve recompute did not publish epoch 2:\n${out}")
+endif()
+if(NOT out MATCHES "checksum_ok yes")
+  message(FATAL_ERROR "serve info should verify the live checksum:\n${out}")
+endif()
+if(NOT out MATCHES "published 2, failed 0")
+  message(FATAL_ERROR "serve stats malformed:\n${out}")
+endif()
+if(NOT out MATCHES "bye\n$")
+  message(FATAL_ERROR "serve did not shut down cleanly:\n${out}")
+endif()
+
+# An unknown host must produce an err line, not kill the session; EOF
+# without `quit` must still shut down cleanly.
+file(WRITE "${SESSION}" "score no.such.host
+")
+execute_process(COMMAND "${CLI}" serve --in "${DIR}"
+                INPUT_FILE "${SESSION}"
+                RESULT_VARIABLE rc
+                OUTPUT_VARIABLE out
+                ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serve EOF shutdown failed (${rc}):\n${out}\n${err}")
+endif()
+if(NOT out MATCHES "err unknown host 'no.such.host'")
+  message(FATAL_ERROR "serve should report unknown hosts:\n${out}")
+endif()
+if(NOT out MATCHES "bye\n$")
+  message(FATAL_ERROR "serve should say bye on EOF:\n${out}")
+endif()
+
 # Error paths must exit non-zero, not crash.
 execute_process(COMMAND "${CLI}" rank --in "${DIR}/nonexistent"
                 RESULT_VARIABLE rc OUTPUT_QUIET ERROR_QUIET)

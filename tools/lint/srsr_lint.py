@@ -21,6 +21,12 @@ Rules (each can be waived per line with `// srsr-lint: allow(<rule>)`):
   catch-all  `catch (...)` that swallows — a bare catch-all may only
              rethrow; silently eating ContractViolation would defeat
              the whole contract layer.
+  thread     raw std::thread / std::jthread in src/ (outside src/serve
+             and src/util) or tools/ — concurrency lives behind
+             util/parallel (data parallel) and serve/recompute (the
+             background worker); ad-hoc threads elsewhere escape the
+             tsan test matrix. bench/ and examples/ may spawn load-
+             generator threads freely.
 
 Exit code 0 when clean, 1 with a file:line listing otherwise.
 """
@@ -44,6 +50,7 @@ RE_FLOAT_EQ = re.compile(
     r"[=!]=\s*-?(?:" + FLOAT_LIT + r")|(?:" + FLOAT_LIT + r")\s*[=!]=")
 RE_FLOAT_ZERO = re.compile(r"[=!]=\s*-?0\.0(?![\d])|0\.0\s*[=!]=")
 RE_CATCH_ALL = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
+RE_THREAD = re.compile(r"std::(?:jthread|thread)\b")
 
 SRC_EXTS = (".cpp", ".hpp")
 
@@ -107,6 +114,11 @@ class Linter:
         in_src = rel.startswith("src/")
         is_rng = rel.startswith("src/util/rng")
         is_logger = rel in ("src/util/log.cpp", "src/util/log.hpp")
+        thread_banned = (
+            in_src
+            and not rel.startswith("src/serve/")
+            and not rel.startswith("src/util/")
+        ) or rel.startswith("tools/")
         with open(path, encoding="utf-8") as f:
             raw_lines = f.read().splitlines()
 
@@ -126,6 +138,13 @@ class Linter:
                     and not self.waived(raw, "stdout"):
                 self.fail(path, lineno, "stdout",
                           "direct stdout in library code — use util/log")
+
+            if thread_banned and RE_THREAD.search(line) \
+                    and not self.waived(raw, "thread"):
+                self.fail(path, lineno, "thread",
+                          "raw std::thread outside src/serve and "
+                          "src/util — route work through util/parallel "
+                          "or serve/recompute")
 
             if RE_FLOAT_EQ.search(line) and not RE_FLOAT_ZERO.search(line) \
                     and not self.waived(raw, "float-eq"):

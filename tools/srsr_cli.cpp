@@ -27,6 +27,16 @@
 //             model's cached transpose); print per-configuration plan +
 //             solve wall times. With labels.txt the ramp throttles the
 //             spam-proximate sources; without it, every source.
+//   serve     --in DIR [--alpha A] [--topk K] [--mode absorb|discard]
+//             Online ranking service: load the crawl, publish a
+//             baseline (kappa = 0) and a throttled snapshot, then
+//             answer line-oriented requests from stdin until EOF/quit
+//             (scriptable: pipe a session in, parse stdout). Requests:
+//               top K | score HOST | rank HOST | compare HOST |
+//               recompute STRENGTH | labels HOST... | info | stats |
+//               quit
+//             recompute/labels re-solve in the background pipeline
+//             (warm-started) and atomically swap the live snapshot.
 //
 // The crawl directory format is the library's text interchange:
 //   pages.txt   "<page-id> <url>" per line
@@ -50,6 +60,10 @@
 #include "obs/stage_timer.hpp"
 #include "obs/trace.hpp"
 #include "rank/pagerank.hpp"
+#include "serve/query.hpp"
+#include "serve/recompute.hpp"
+#include "serve/snapshot.hpp"
+#include "serve/store.hpp"
 #include "spam/attacks.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -353,6 +367,177 @@ int cmd_sweep(const Args& args) {
   return 0;
 }
 
+/// Line-oriented request loop over the serve layer. One request per
+/// line on stdin, one (or a few) response lines on stdout — designed
+/// to be piped to/from scripts; the cli_test and scripts/ci.sh drive
+/// it that way.
+int cmd_serve(const Args& args) {
+  const std::string in_dir = args.require("in");
+  const f64 alpha = args.get_f64("alpha", 0.85);
+  const std::string mode_name = args.get("mode", "discard");
+  check(mode_name == "absorb" || mode_name == "discard",
+        "--mode must be absorb or discard");
+  if (args.has("metrics")) obs::set_metrics_enabled(true);
+
+  const auto crawl = load_crawl(in_dir);
+  const auto& corpus = crawl.corpus;
+  const core::SourceMap map(corpus.page_source);
+  core::SrsrConfig cfg;
+  cfg.alpha = alpha;
+  cfg.throttle_mode = mode_name == "absorb"
+                          ? core::ThrottleMode::kSelfAbsorb
+                          : core::ThrottleMode::kTeleportDiscard;
+  const core::SpamResilientSourceRank model(corpus.pages, map, cfg);
+
+  // Standing policy: fully throttle the top-k spam-proximate sources
+  // when labels exist (Sec. 6.2), otherwise start unthrottled.
+  // `recompute S` rescales this vector by S.
+  std::vector<f64> policy(corpus.num_sources(), 0.0);
+  std::string policy_name = "unthrottled";
+  if (!crawl.spam_seeds.empty()) {
+    const u32 top_k = static_cast<u32>(
+        args.get_u64("topk", 2 * crawl.spam_seeds.size()));
+    const auto prox = core::spam_proximity(model.source_graph().topology(),
+                                           crawl.spam_seeds);
+    policy = core::kappa_top_k(prox.scores, top_k);
+    policy_name = "top_" + std::to_string(top_k) + "_proximity";
+  }
+
+  serve::SnapshotStore store;
+  // Fixed baseline (kappa = 0, cold solve): what compare() diffs
+  // against.
+  serve::SnapshotBuild baseline_build;
+  baseline_build.policy = "baseline";
+  const std::vector<f64> zeros(corpus.num_sources(), 0.0);
+  const auto baseline = std::make_shared<const serve::RankSnapshot>(
+      serve::make_snapshot(model, zeros, corpus.source_hosts,
+                           baseline_build));
+  const serve::QueryEngine engine(store, baseline);
+  serve::RecomputePipeline pipeline(model, corpus.source_hosts, store);
+  pipeline.submit(policy, policy_name);
+  pipeline.drain();
+  {
+    const auto st = pipeline.stats();
+    check(st.published == 1, "serve: initial snapshot failed: " +
+                                 st.last_error);
+  }
+  std::cout << "serve ready: " << corpus.num_sources() << " sources, epoch "
+            << store.epoch() << ", policy " << policy_name << '\n'
+            << std::flush;
+
+  // Re-solves triggered by a request are awaited (drain) before the
+  // response line, so a scripted session reads its own effects.
+  auto report_publish = [&](u64 before_published, u64 before_failed) {
+    const auto st = pipeline.stats();
+    if (st.published > before_published) {
+      const auto snap = store.current();
+      std::cout << "published epoch " << st.last_epoch << " ("
+                << snap->meta().iterations << " iterations, "
+                << (snap->meta().converged ? "converged" : "NOT converged")
+                << (snap->meta().warm_started ? ", warm" : ", cold")
+                << ")\n";
+    } else if (st.failed > before_failed) {
+      std::cout << "err recompute failed: " << st.last_error << '\n';
+    } else {
+      std::cout << "err recompute produced nothing\n";
+    }
+  };
+
+  std::string line;
+  while (std::getline(std::cin, line)) {
+    std::istringstream in(line);
+    std::string req;
+    in >> req;
+    if (req.empty()) continue;
+    if (req == "quit" || req == "exit") break;
+
+    if (req == "top") {
+      u64 k = 10;
+      in >> k;
+      for (const auto& e : engine.top_k(static_cast<u32>(k)))
+        std::cout << e.rank << ' ' << e.host << ' '
+                  << TextTable::sci(e.score, 3) << '\n';
+    } else if (req == "score" || req == "rank" || req == "compare") {
+      std::string host;
+      in >> host;
+      const auto id = store.current()->id_of(host);
+      if (!id) {
+        std::cout << "err unknown host '" << host << "'\n";
+      } else if (req == "score") {
+        std::cout << host << ' ' << TextTable::sci(*engine.score(*id), 3)
+                  << '\n';
+      } else if (req == "rank") {
+        std::cout << host << " rank " << *engine.rank_of(*id) << " of "
+                  << corpus.num_sources() << '\n';
+      } else {
+        const auto c = *engine.compare(*id);
+        std::cout << host << " baseline " << TextTable::sci(c.baseline_score, 3)
+                  << " (#" << c.baseline_rank << ") -> srsr "
+                  << TextTable::sci(c.score, 3) << " (#" << c.rank
+                  << "), delta " << TextTable::sci(c.delta, 3)
+                  << ", rank_change " << c.rank_change << '\n';
+      }
+    } else if (req == "recompute") {
+      std::string strength_text;
+      in >> strength_text;
+      const f64 strength =
+          strength_text.empty() ? 1.0 : parse_f64(strength_text);
+      std::vector<f64> kappa(policy);
+      for (f64& k : kappa) k *= strength;
+      const auto before = pipeline.stats();
+      pipeline.submit(std::move(kappa),
+                      policy_name + "*" + TextTable::fixed(strength, 2));
+      pipeline.drain();
+      report_publish(before.published, before.failed);
+    } else if (req == "labels") {
+      std::vector<NodeId> seeds;
+      std::string host;
+      bool ok = true;
+      while (in >> host) {
+        const auto id = store.current()->id_of(host);
+        if (!id) {
+          std::cout << "err unknown host '" << host << "'\n";
+          ok = false;
+          break;
+        }
+        seeds.push_back(*id);
+      }
+      if (!ok) continue;
+      if (seeds.empty()) {
+        std::cout << "err labels needs at least one host\n";
+        continue;
+      }
+      const auto before = pipeline.stats();
+      const u32 top_k =
+          static_cast<u32>(args.get_u64("topk", 2 * seeds.size()));
+      pipeline.submit_spam_labels(std::move(seeds), top_k);
+      pipeline.drain();
+      report_publish(before.published, before.failed);
+    } else if (req == "info") {
+      const auto snap = store.current();
+      const auto& m = snap->meta();
+      std::cout << "epoch " << m.epoch << ", sources "
+                << snap->num_sources() << ", policy " << m.kappa_policy
+                << ", kappa_mass " << TextTable::fixed(m.kappa_mass, 2)
+                << ", solver " << m.solver << ", iterations "
+                << m.iterations << ", checksum_ok "
+                << (snap->verify_checksum() ? "yes" : "no") << '\n';
+    } else if (req == "stats") {
+      const auto st = pipeline.stats();
+      std::cout << "published " << st.published << ", failed " << st.failed
+                << ", coalesced " << st.coalesced << ", epoch "
+                << st.last_epoch << '\n';
+    } else {
+      std::cout << "err unknown request '" << req << "'\n";
+    }
+    std::cout << std::flush;
+  }
+
+  pipeline.stop();
+  std::cout << "bye\n";
+  return 0;
+}
+
 int cmd_audit(const Args& args) {
   const auto crawl = load_crawl(args.require("in"));
   const auto& corpus = crawl.corpus;
@@ -437,7 +622,11 @@ void usage() {
       "  attack   --in DIR [--target-source S] [--pages N] [--cross C]\n"
       "  stats    --in DIR [--alpha A] [--topk K] [--json]\n"
       "  sweep    --in DIR [--configs N] [--alpha A] [--topk K]\n"
-      "           [--mode absorb|discard]\n";
+      "           [--mode absorb|discard]\n"
+      "  serve    --in DIR [--alpha A] [--topk K] [--mode absorb|discard]\n"
+      "           [--metrics]   (requests on stdin: top K | score HOST |\n"
+      "           rank HOST | compare HOST | recompute S | labels HOST... |\n"
+      "           info | stats | quit)\n";
 }
 
 }  // namespace
@@ -456,6 +645,7 @@ int main(int argc, char** argv) {
     if (cmd == "attack") return cmd_attack(args);
     if (cmd == "stats") return cmd_stats(args);
     if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "serve") return cmd_serve(args);
     usage();
     return 2;
   } catch (const srsr::Error& e) {
