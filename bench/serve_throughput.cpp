@@ -12,6 +12,9 @@
 #include <vector>
 
 #include "bench/common.hpp"
+#include "obs/expfmt.hpp"
+#include "obs/metrics.hpp"
+#include "serve/monitor.hpp"
 #include "serve/query.hpp"
 #include "serve/recompute.hpp"
 #include "serve/snapshot.hpp"
@@ -63,6 +66,10 @@ ReaderResult reader_loop(const serve::QueryEngine& engine,
 }
 
 void run() {
+  // Metrics feed the Prometheus snapshot embedded in the run report;
+  // the recording overhead (relaxed add per query) is part of what the
+  // serve layer ships, so the bench measures it too.
+  obs::set_metrics_enabled(true);
   const auto corpus = make_dataset(graph::ScaledDataset::kUK2002S);
   const core::SourceMap map = core::SourceMap::from_corpus(corpus);
   const core::SpamResilientSourceRank model(corpus.pages, map,
@@ -72,10 +79,18 @@ void run() {
   TextTable t({"Readers", "Queries", "Publishes", "QPS", "p50 (us)",
                "p99 (us)", "Torn"});
   u64 total_torn = 0;
+  obs::RunReport report("serve_throughput");
 
   for (const u32 readers : {1u, 2u, 4u, 8u}) {
     serve::SnapshotStore store;
-    serve::RecomputePipeline pipeline(model, corpus.source_hosts, store);
+    // The SLO watchdog rides along: every query feeds it, every publish
+    // stamps it. The end-of-run assertion below turns the bench into a
+    // regression gate on serve-layer tail latency.
+    serve::SloMonitor slo;
+    serve::RecomputeConfig recompute_cfg;
+    recompute_cfg.slo = &slo;
+    serve::RecomputePipeline pipeline(model, corpus.source_hosts, store,
+                                      recompute_cfg);
 
     // Baseline epoch up first so readers always have a snapshot; it
     // also serves as the compare() reference.
@@ -85,7 +100,8 @@ void run() {
     auto baseline = std::make_shared<const serve::RankSnapshot>(
         serve::make_snapshot(model, zeros, corpus.source_hosts, base_build));
     store.publish(serve::RankSnapshot(*baseline));
-    const serve::QueryEngine engine(store, baseline);
+    slo.on_publish();
+    const serve::QueryEngine engine(store, baseline, &slo);
 
     WallTimer wall;
     std::atomic<bool> stop{false};
@@ -135,6 +151,22 @@ void run() {
         TextTable::fixed(quantile(all, 0.99) * 1e6, 2),
         TextTable::num(torn),
     });
+
+    // SLO gate: p99 within 50ms (generous — real runs sit in the low
+    // microseconds, so only a gross serve-layer regression trips it)
+    // and the snapshot never went stale against the default 300s
+    // objective during the sweep.
+    const serve::SloStatus slo_status = slo.evaluate();
+    SRSR_CHECK(slo_status.p99 < 0.05,
+               "serve_throughput: p99 SLO breach with ", readers,
+               " readers: ", slo_status.p99, "s");
+    SRSR_CHECK(slo_status.staleness_breaches == 0,
+               "serve_throughput: ", slo_status.staleness_breaches,
+               " staleness breaches with ", readers, " readers");
+    const std::string prefix = "slo.r" + std::to_string(readers);
+    report.set_meta(prefix + ".p50_seconds", slo_status.p50);
+    report.set_meta(prefix + ".p99_seconds", slo_status.p99);
+    report.set_meta(prefix + ".queries", slo_status.total_queries);
   }
 
   emit("Serve throughput: concurrent queries under live recomputes (UK2002S)",
@@ -142,6 +174,11 @@ void run() {
   SRSR_CHECK(total_torn == 0,
              "serve_throughput: ", total_torn, " torn snapshot reads");
   log_info("zero torn reads across all reader counts");
+  log_info("SLO gate passed: p99 < 50ms, zero staleness breaches");
+
+  report.set_meta("prometheus", obs::prometheus_text());
+  report.capture_metrics();
+  maybe_write_report("serve_throughput", report);
 }
 
 }  // namespace

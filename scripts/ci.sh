@@ -32,6 +32,25 @@ echo "$SERVE_OUT" | grep -qE "published epoch 2 \([0-9]+ iterations, converged" 
 echo "$SERVE_OUT" | grep -q "^bye$" \
   || { echo "ci: serve did not shut down cleanly" >&2; exit 1; }
 
+stage "prometheus exposition (stats --prometheus | check_expfmt.py)"
+# The exporter's output must be a valid 0.0.4 text exposition: names,
+# TYPE lines, cumulative histogram buckets ending at +Inf == _count.
+./build/tools/srsr_cli stats --in "$SERVE_DIR" --prometheus \
+  | python3 tools/lint/check_expfmt.py --require-metrics \
+  || { echo "ci: prometheus exposition invalid" >&2; exit 1; }
+# The serve-protocol `metrics` dump goes through the same validator, and
+# `tracefile` must produce Perfetto-loadable trace JSON with spans.
+TRACE_JSON="$SERVE_DIR/serve_trace.json"
+printf 'top 3\ninfo\ntracefile %s\nmetrics\nquit\n' "$TRACE_JSON" \
+  | ./build/tools/srsr_cli serve --in "$SERVE_DIR" --metrics \
+  | sed -n '/^# /,$p' | sed '/^bye$/d' \
+  | python3 tools/lint/check_expfmt.py --require-metrics \
+  || { echo "ci: serve metrics exposition invalid" >&2; exit 1; }
+grep -q '"traceEvents"' "$TRACE_JSON" \
+  || { echo "ci: serve tracefile produced no trace events" >&2; exit 1; }
+grep -q '"serve.recompute"' "$TRACE_JSON" \
+  || { echo "ci: serve trace missing recompute span" >&2; exit 1; }
+
 stage "clang-tidy (scripts/tidy.sh)"
 scripts/tidy.sh
 

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "obs/span.hpp"
 #include "obs/stage_timer.hpp"
 #include "util/check.hpp"
 
@@ -54,6 +55,7 @@ rank::StochasticMatrix SpamResilientSourceRank::throttled_matrix(
 
 rank::ThrottledView SpamResilientSourceRank::throttled_view(
     std::span<const f64> kappa) const {
+  obs::Span span("core.throttle_plan");
   obs::StageTimer stage("core.throttle_plan");
   return rank::ThrottledView(
       base_matrix_, base_transpose_,
@@ -63,6 +65,7 @@ rank::ThrottledView SpamResilientSourceRank::throttled_view(
 rank::RankResult SpamResilientSourceRank::solve(
     const rank::TransitionOperator& op,
     std::span<const f64> warm_start) const {
+  obs::Span span("core.solve");
   obs::StageTimer stage("core.solve");
   rank::SolverConfig sc;
   sc.alpha = config_.alpha;

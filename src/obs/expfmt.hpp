@@ -1,0 +1,56 @@
+// Standard-format exporters for the obs layer.
+//
+// Two export surfaces, one per consumer ecosystem:
+//
+//   - Prometheus text exposition (version 0.0.4, the format every
+//     Prometheus-compatible scraper ingests) for the whole
+//     MetricsRegistry: counters (exposed with the conventional _total
+//     suffix), gauges, and histograms with *cumulative* le-labeled
+//     buckets plus the _sum/_count pair. Metric names are sanitized to
+//     the Prometheus charset ("srsr.rank.power.solves" →
+//     "srsr_rank_power_solves"); tools/lint/check_expfmt.py validates
+//     the emitted text in CI.
+//
+//   - Chrome/Perfetto trace-event JSON for span trees: one complete
+//     ("ph":"X") event per SpanRecord, microsecond timestamps, the
+//     ring's thread index as tid, and trace/span/parent ids in args so
+//     the causal tree survives the format round-trip. Load the file at
+//     ui.perfetto.dev or chrome://tracing.
+//
+// Both emitters are pure functions of their snapshot arguments — they
+// take no locks and touch no global state, so they are safe to call
+// from a serving thread while collection continues.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
+namespace srsr::obs {
+
+/// `name` rewritten to the Prometheus metric charset
+/// [a-zA-Z_:][a-zA-Z0-9_:]* (every other byte becomes '_').
+std::string prometheus_name(const std::string& name);
+
+/// The whole registry snapshot in Prometheus text exposition format
+/// (one # TYPE comment per family, histogram buckets cumulative,
+/// terminated by a trailing newline).
+std::string prometheus_text(const MetricsRegistry::Snapshot& snapshot);
+
+/// Convenience: snapshot the global registry and render it.
+std::string prometheus_text();
+
+/// `spans` as a Chrome trace-event JSON document (the "traceEvents"
+/// array form). Spans may come from collect_spans() in any order.
+std::string perfetto_trace_json(std::span<const SpanRecord> spans);
+
+/// Writes perfetto_trace_json(spans) to `path` via the same
+/// temp-file + atomic-rename discipline as RunReport::write, creating
+/// parent directories. Throws srsr::Error on failure.
+void write_perfetto_trace(const std::string& path,
+                          std::span<const SpanRecord> spans);
+
+}  // namespace srsr::obs

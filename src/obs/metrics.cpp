@@ -1,6 +1,7 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "obs/json.hpp"
 
@@ -34,8 +35,45 @@ f64 Histogram::mean() const {
   return n == 0 ? 0.0 : sum() / static_cast<f64>(n);
 }
 
+std::vector<f64> log_spaced_buckets(f64 lo, f64 hi, u32 per_decade) {
+  check(std::isfinite(lo) && std::isfinite(hi) && lo > 0.0 && hi > lo,
+        "log_spaced_buckets: need 0 < lo < hi, both finite");
+  check(per_decade > 0, "log_spaced_buckets: per_decade must be positive");
+  const f64 step = std::pow(10.0, 1.0 / static_cast<f64>(per_decade));
+  std::vector<f64> out;
+  // Generate multiplicatively from lo; the epsilon keeps the top edge
+  // itself in the list despite accumulated rounding.
+  for (f64 b = lo; b < hi * (1.0 + 1e-12); b *= step) out.push_back(b);
+  if (out.back() < hi) out.push_back(hi);
+  return out;
+}
+
 std::vector<f64> default_seconds_buckets() {
-  return {1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 100.0};
+  return log_spaced_buckets(1e-6, 100.0, 3);
+}
+
+f64 histogram_quantile(std::span<const f64> bounds,
+                       std::span<const u64> counts, f64 q) {
+  check(q >= 0.0 && q <= 1.0, "histogram_quantile: q must be in [0, 1]");
+  check(counts.size() == bounds.size() + 1,
+        "histogram_quantile: counts must be bounds + overflow");
+  u64 total = 0;
+  for (const u64 c : counts) total += c;
+  if (total == 0) return 0.0;
+  // The (1-based) rank of the q-th observation, nearest-rank style.
+  const f64 target = q * static_cast<f64>(total);
+  f64 cumulative = 0.0;
+  for (std::size_t b = 0; b < bounds.size(); ++b) {
+    const f64 in_bucket = static_cast<f64>(counts[b]);
+    if (cumulative + in_bucket >= target && in_bucket > 0.0) {
+      const f64 lo = b == 0 ? 0.0 : bounds[b - 1];
+      const f64 hi = bounds[b];
+      return lo + (hi - lo) * (target - cumulative) / in_bucket;
+    }
+    cumulative += in_bucket;
+  }
+  // Overflow bucket: clamp to the last finite edge (a lower bound).
+  return bounds.back();
 }
 
 namespace {
@@ -108,18 +146,38 @@ MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
 
 TextTable MetricsRegistry::snapshot_table() const {
   const Snapshot snap = snapshot();
-  TextTable t({"Metric", "Type", "Value"});
+  // One name-sorted row list across all instrument kinds, so diffs of
+  // two stats runs line up row for row. Each per-kind list is already
+  // name-sorted (std::map iteration); merge them.
+  struct Row {
+    std::string name;
+    std::string type;
+    std::string value;
+  };
+  std::vector<Row> rows;
+  rows.reserve(snap.counters.size() + snap.gauges.size() +
+               snap.histograms.size());
   for (const auto& [name, v] : snap.counters)
-    t.add_row({name, "counter", TextTable::num(v)});
+    rows.push_back({name, "counter", TextTable::num(v)});
   for (const auto& [name, v] : snap.gauges)
-    t.add_row({name, "gauge", TextTable::sci(v, 4)});
+    rows.push_back({name, "gauge", TextTable::sci(v, 4)});
   for (const auto& [name, h] : snap.histograms) {
-    const f64 mean = h.count == 0 ? 0.0 : h.sum / static_cast<f64>(h.count);
-    t.add_row({name, "histogram",
-               TextTable::num(h.count) + " obs, mean " +
-                   TextTable::sci(mean, 3) + ", sum " +
-                   TextTable::sci(h.sum, 3)});
+    // Quantiles, not bucket dumps: p50/p90/p99 are what a human scans
+    // a stats table for (histogram_quantile documents the error bound).
+    rows.push_back({name, "histogram",
+                    TextTable::num(h.count) + " obs, p50 " +
+                        TextTable::sci(h.quantile(0.50), 3) + ", p90 " +
+                        TextTable::sci(h.quantile(0.90), 3) + ", p99 " +
+                        TextTable::sci(h.quantile(0.99), 3) + ", mean " +
+                        TextTable::sci(h.count == 0 ? 0.0
+                                                    : h.sum / static_cast<f64>(
+                                                                  h.count),
+                                       3)});
   }
+  std::sort(rows.begin(), rows.end(),
+            [](const Row& a, const Row& b) { return a.name < b.name; });
+  TextTable t({"Metric", "Type", "Value"});
+  for (const Row& r : rows) t.add_row({r.name, r.type, r.value});
   return t;
 }
 

@@ -24,6 +24,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -123,8 +124,32 @@ class Histogram {
   std::atomic<u64> sum_bits_{0};
 };
 
-/// Default histogram bounds for wall-time observations, in seconds.
+/// Log-spaced bucket bounds: `per_decade` bounds per factor of 10 from
+/// `lo` up to (and including) `hi`. Log spacing keeps the *relative*
+/// quantile-estimation error constant across the whole range — with r
+/// buckets per decade an estimated quantile is off by at most a factor
+/// of 10^(1/r) (the width of one bucket), wherever the mass lands.
+/// Linear buckets have no such bound past their last edge.
+std::vector<f64> log_spaced_buckets(f64 lo, f64 hi, u32 per_decade);
+
+/// Default histogram bounds for wall-time observations, in seconds:
+/// log-spaced, 1 microsecond to 100 seconds, 3 buckets per decade
+/// (relative quantile error <= 10^(1/3) ~ 2.2x; use a denser
+/// log_spaced_buckets() for instruments that feed SLO decisions).
 std::vector<f64> default_seconds_buckets();
+
+/// Quantile estimate (q in [0, 1]) from bucketed counts, by linear
+/// interpolation inside the bucket where the q-th observation falls.
+///
+/// Error bounds: exact when the q-th observation sits on a bucket edge;
+/// otherwise off by at most one bucket width (for log-spaced buckets
+/// with r per decade, a relative error <= 10^(1/r) - 1). Observations
+/// in the overflow bucket are clamped to the last finite bound, so
+/// quantiles that land there are *lower* bounds — size the top edge
+/// above any latency you intend to alert on. Returns 0 for an empty
+/// histogram.
+f64 histogram_quantile(std::span<const f64> bounds,
+                       std::span<const u64> counts, f64 q);
 
 class MetricsRegistry {
  public:
@@ -146,6 +171,8 @@ class MetricsRegistry {
     std::vector<u64> counts;  // bounds.size() + 1, last = overflow
     u64 count = 0;
     f64 sum = 0.0;
+    /// histogram_quantile() over this snapshot's buckets.
+    f64 quantile(f64 q) const { return histogram_quantile(bounds, counts, q); }
   };
 
   struct Snapshot {

@@ -1,6 +1,7 @@
 #include "rank/solvers.hpp"
 
 #include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/check.hpp"
 #include "util/parallel.hpp"
 #include "util/timer.hpp"
@@ -38,6 +39,10 @@ RankResult iterate(const TransitionOperator& op, const SolverConfig& config,
                  config.alpha < 1.0,
              "solver: alpha = ", config.alpha, ", must be in [0, 1)");
   const NodeId n = op.num_rows();
+  // Span names must be literals (the ring stores the pointer), so pick
+  // between the two fixed solver names rather than composing one.
+  obs::Span span(solver_name[0] == 'p' ? "rank.power.solve"
+                                       : "rank.jacobi.solve");
   RankResult result;
   if (n == 0) {
     result.converged = true;

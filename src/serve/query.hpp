@@ -19,13 +19,18 @@
 // Per-query latency lands in obs::MetricsRegistry histograms
 // ("srsr.serve.query.<kind>.seconds", microsecond-resolution buckets)
 // plus a per-kind hit counter — enabled only when telemetry is on,
-// costing one relaxed load otherwise (the metrics contract).
+// costing one relaxed load otherwise (the metrics contract). Each query
+// also opens an obs::Span ("serve.query.<kind>") so traced sessions
+// show queries as roots (or children of a caller's span), and feeds an
+// optional SloMonitor with its wall time (always on once attached —
+// the watchdog is only useful if it sees every query).
 #pragma once
 
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "serve/monitor.hpp"
 #include "serve/store.hpp"
 #include "util/common.hpp"
 
@@ -53,18 +58,20 @@ struct CompareEntry {
   u64 epoch = 0;        // live epoch the comparison was served from
 };
 
-/// Histogram bounds for query latencies, in seconds (sub-microsecond
-/// to 100ms). The stage-timer default buckets are seconds-scale and
-/// would collapse every query into the first bucket.
+/// Histogram bounds for query latencies, in seconds: log-spaced,
+/// 100ns to 10s. The stage-timer default buckets start at 1us and
+/// would collapse most queries into their first bucket.
 std::vector<f64> query_seconds_buckets();
 
 class QueryEngine {
  public:
   /// `baseline` (optional) is the fixed kappa = 0 snapshot compare()
   /// diffs against; it must cover the same source set as the store's
-  /// snapshots. The store must outlive the engine.
+  /// snapshots. `slo` (optional) receives every query's latency. The
+  /// store and the monitor must outlive the engine.
   explicit QueryEngine(const SnapshotStore& store,
-                       SnapshotPtr baseline = nullptr);
+                       SnapshotPtr baseline = nullptr,
+                       SloMonitor* slo = nullptr);
 
   /// The live snapshot handle (nullptr before the first publish) —
   /// for callers that need multiple lookups at one epoch.
@@ -89,6 +96,7 @@ class QueryEngine {
  private:
   const SnapshotStore* store_;
   SnapshotPtr baseline_;
+  SloMonitor* slo_;
 };
 
 }  // namespace srsr::serve

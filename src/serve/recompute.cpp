@@ -39,6 +39,7 @@ void RecomputePipeline::submit(std::vector<f64> kappa, std::string policy) {
   Update u;
   u.kappa = std::move(kappa);
   u.policy = std::move(policy);
+  u.ctx = obs::current_span_context();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stop_) return;
@@ -55,6 +56,7 @@ void RecomputePipeline::submit_spam_labels(std::vector<NodeId> source_seeds,
   u.top_k = top_k;
   u.from_seeds = true;
   u.policy = "top_" + std::to_string(top_k) + "_proximity";
+  u.ctx = obs::current_span_context();
   {
     const std::lock_guard<std::mutex> lock(mutex_);
     if (stop_) return;
@@ -129,6 +131,11 @@ void RecomputePipeline::worker_loop() {
 }
 
 void RecomputePipeline::solve_and_publish(const Update& update) {
+  // Cross-thread hand-off: this span runs on the worker but descends
+  // from the submitter's request span (or roots a fresh trace when the
+  // update came from untraced code). Solve-stage spans opened further
+  // down this call chain nest under it through the thread cursor.
+  obs::Span span("serve.recompute", update.ctx);
   obs::StageTimer stage("serve.recompute");
   auto fail = [this](const std::string& why) {
     {
@@ -177,6 +184,13 @@ void RecomputePipeline::solve_and_publish(const Update& update) {
       ++stats_.published;
       stats_.last_epoch = epoch;
       stats_.last_error.clear();
+    }
+    if (config_.slo) config_.slo->on_publish();
+    if (config_.drift) {
+      const DriftReport drift = config_.drift->on_publish(*store_->current());
+      if (drift.anomalous)
+        log_warn("serve: anomalous ranking drift publishing epoch ",
+                 drift.to_epoch, " (", drift.reason, ")");
     }
     if (obs::metrics_enabled()) {
       auto& reg = obs::MetricsRegistry::instance();

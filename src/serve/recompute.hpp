@@ -29,6 +29,8 @@
 #include <vector>
 
 #include "obs/report.hpp"
+#include "obs/span.hpp"
+#include "serve/monitor.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/store.hpp"
 #include "util/common.hpp"
@@ -44,6 +46,11 @@ struct RecomputeConfig {
   /// failure (no publish) instead of serving a half-converged vector.
   bool require_convergence = true;
   SolvePath path = SolvePath::kLazyView;
+  /// Optional watchdogs (must outlive the pipeline). `slo` is stamped
+  /// on every publish; `drift` sees every published snapshot and
+  /// judges it against its predecessor.
+  SloMonitor* slo = nullptr;
+  DriftMonitor* drift = nullptr;
 };
 
 class RecomputePipeline {
@@ -97,6 +104,10 @@ class RecomputePipeline {
     u32 top_k = 0;
     bool from_seeds = false;
     std::string policy;
+    /// Submitter's span context, captured at submit() time — the
+    /// explicit hand-off that parents the worker's recompute span to
+    /// the request that triggered it (obs/span.hpp rule 2).
+    obs::SpanContext ctx;
   };
 
   void worker_loop();

@@ -5,6 +5,7 @@
 #include <numeric>
 #include <utility>
 
+#include "obs/span.hpp"
 #include "obs/stage_timer.hpp"
 #include "util/check.hpp"
 
@@ -84,6 +85,7 @@ RankSnapshot make_snapshot(const core::SpamResilientSourceRank& model,
                            std::span<const f64> kappa,
                            std::vector<std::string> hosts,
                            const SnapshotBuild& build) {
+  obs::Span span("serve.snapshot_build");
   obs::StageTimer stage("serve.snapshot_build");
   const bool warm = !build.warm_start.empty();
   rank::RankResult result;

@@ -72,9 +72,42 @@ else()
   endif()
 endif()
 
+# --trace-out must emit a Perfetto/Chrome trace with the documented span
+# tree: the cli.rank root enclosing the core solve and solver stages.
+set(SPANS "${DIR}/rank_spans.json")
+run_cli(rank --in "${DIR}" --algo srsr --top 3 --trace-out "${SPANS}")
+if(NOT CLI_OUTPUT MATCHES "wrote [0-9]+ spans to")
+  message(FATAL_ERROR "rank --trace-out did not report spans:\n${CLI_OUTPUT}")
+endif()
+if(NOT EXISTS "${SPANS}")
+  message(FATAL_ERROR "rank --trace-out did not write ${SPANS}")
+endif()
+file(READ "${SPANS}" spans_json)
+if(NOT spans_json MATCHES "\"traceEvents\":\\[")
+  message(FATAL_ERROR "span trace is not Perfetto JSON:\n${spans_json}")
+endif()
+foreach(span cli.rank core.throttle_plan core.solve rank.power.solve)
+  if(NOT spans_json MATCHES "\"name\":\"${span}\"")
+    message(FATAL_ERROR "span trace is missing '${span}':\n${spans_json}")
+  endif()
+endforeach()
+
 run_cli(stats --in "${DIR}")
 if(NOT CLI_OUTPUT MATCHES "iterations")
   message(FATAL_ERROR "stats output malformed:\n${CLI_OUTPUT}")
+endif()
+
+# --prometheus: text exposition format 0.0.4. Counters carry the _total
+# suffix and histograms must end their cumulative buckets at +Inf.
+run_cli(stats --in "${DIR}" --prometheus)
+if(NOT CLI_OUTPUT MATCHES "# TYPE srsr_")
+  message(FATAL_ERROR "stats --prometheus has no TYPE lines:\n${CLI_OUTPUT}")
+endif()
+if(NOT CLI_OUTPUT MATCHES "_total [0-9]")
+  message(FATAL_ERROR "stats --prometheus has no counters:\n${CLI_OUTPUT}")
+endif()
+if(NOT CLI_OUTPUT MATCHES "_bucket{le=\"\\+Inf\"}")
+  message(FATAL_ERROR "stats --prometheus histograms lack +Inf:\n${CLI_OUTPUT}")
 endif()
 
 run_cli(audit --in "${DIR}" --topk 5)
@@ -103,10 +136,11 @@ if(rc EQUAL 0)
 endif()
 
 # serve: a scripted line-oriented query session against the crawl.
-# Covers the full request surface (top/score/rank/compare/info/stats),
-# a mid-session recompute (epoch 2 publishes while the session runs),
-# and clean shutdown via `quit`.
+# Covers the full request surface (top/score/rank/compare/info/stats/
+# metrics/tracefile), a mid-session recompute (epoch 2 publishes while
+# the session runs), and clean shutdown via `quit`.
 set(SESSION "${DIR}/serve_session.txt")
+set(SERVE_TRACE "${DIR}/serve_spans.json")
 file(WRITE "${SESSION}" "top 3
 score www.host0000042.example
 rank www.host0000042.example
@@ -114,9 +148,11 @@ compare www.host0000042.example
 recompute 0.5
 info
 stats
+metrics
+tracefile ${SERVE_TRACE}
 quit
 ")
-execute_process(COMMAND "${CLI}" serve --in "${DIR}"
+execute_process(COMMAND "${CLI}" serve --in "${DIR}" --metrics
                 INPUT_FILE "${SESSION}"
                 RESULT_VARIABLE rc
                 OUTPUT_VARIABLE out
@@ -142,12 +178,38 @@ endif()
 if(NOT out MATCHES "checksum_ok yes")
   message(FATAL_ERROR "serve info should verify the live checksum:\n${out}")
 endif()
+if(NOT out MATCHES "slo p50 [^\n]* queries [0-9]+, breaches [0-9]+, healthy")
+  message(FATAL_ERROR "serve info is missing the SLO line:\n${out}")
+endif()
+if(NOT out MATCHES "drift epochs [0-9]+->[0-9]+, l1 [^\n]*anomalous")
+  message(FATAL_ERROR "serve info is missing the drift line:\n${out}")
+endif()
 if(NOT out MATCHES "published 2, failed 0")
   message(FATAL_ERROR "serve stats malformed:\n${out}")
+endif()
+# `metrics` inlines the Prometheus exposition into the session.
+if(NOT out MATCHES "# TYPE srsr_serve_")
+  message(FATAL_ERROR "serve metrics exposition missing:\n${out}")
 endif()
 if(NOT out MATCHES "bye\n$")
   message(FATAL_ERROR "serve did not shut down cleanly:\n${out}")
 endif()
+
+# `tracefile` dumped the session's spans: query roots plus the traced
+# recompute with its solver-stage children, Perfetto-loadable.
+if(NOT EXISTS "${SERVE_TRACE}")
+  message(FATAL_ERROR "serve tracefile did not write ${SERVE_TRACE}")
+endif()
+file(READ "${SERVE_TRACE}" serve_spans)
+if(NOT serve_spans MATCHES "\"traceEvents\":\\[")
+  message(FATAL_ERROR "serve trace is not Perfetto JSON:\n${serve_spans}")
+endif()
+foreach(span serve.query.top_k serve.query.score serve.recompute
+        serve.snapshot_build core.solve rank.power.solve)
+  if(NOT serve_spans MATCHES "\"name\":\"${span}\"")
+    message(FATAL_ERROR "serve trace is missing '${span}':\n${serve_spans}")
+  endif()
+endforeach()
 
 # An unknown host must produce an err line, not kill the session; EOF
 # without `quit` must still shut down cleanly.

@@ -1,0 +1,220 @@
+// Tests for the standard-format exporters (obs/expfmt.hpp): Prometheus
+// name sanitization, text-exposition structure (counter _total suffix,
+// cumulative histogram buckets ending at +Inf == _count), the
+// log-spaced bucket generator and quantile estimator with their
+// documented error bounds, and the Perfetto trace-event JSON emitter.
+#include "obs/expfmt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "util/check.hpp"
+
+namespace srsr::obs {
+namespace {
+
+TEST(PrometheusName, SanitizesToMetricCharset) {
+  EXPECT_EQ(prometheus_name("srsr.rank.power.solves"),
+            "srsr_rank_power_solves");
+  EXPECT_EQ(prometheus_name("already_fine:name"), "already_fine:name");
+  EXPECT_EQ(prometheus_name("has-dash and space"), "has_dash_and_space");
+  EXPECT_EQ(prometheus_name("9starts.with.digit"), "_9starts_with_digit");
+  EXPECT_EQ(prometheus_name(""), "_");
+}
+
+TEST(PrometheusText, CounterGetsTotalSuffixAndTypeLine) {
+  MetricsRegistry::Snapshot snap;
+  snap.counters.emplace_back("srsr.rank.power.solves", 7u);
+  const std::string text = prometheus_text(snap);
+  EXPECT_EQ(text,
+            "# TYPE srsr_rank_power_solves_total counter\n"
+            "srsr_rank_power_solves_total 7\n");
+}
+
+TEST(PrometheusText, GaugeKeepsNameAndRendersValue) {
+  MetricsRegistry::Snapshot snap;
+  snap.gauges.emplace_back("srsr.serve.slo.p99_seconds", 0.25);
+  const std::string text = prometheus_text(snap);
+  EXPECT_NE(text.find("# TYPE srsr_serve_slo_p99_seconds gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("srsr_serve_slo_p99_seconds 0.25\n"),
+            std::string::npos);
+}
+
+TEST(PrometheusText, HistogramBucketsAreCumulativeAndEndAtInf) {
+  MetricsRegistry::HistogramSnapshot h;
+  h.bounds = {0.001, 0.01, 0.1};
+  h.counts = {1, 2, 3, 4};  // last = overflow
+  h.count = 10;
+  h.sum = 1.5;
+  MetricsRegistry::Snapshot snap;
+  snap.histograms.emplace_back("srsr.serve.query.score.seconds", h);
+
+  const std::string text = prometheus_text(snap);
+  const std::string n = "srsr_serve_query_score_seconds";
+  EXPECT_NE(text.find("# TYPE " + n + " histogram\n"), std::string::npos);
+  // Per-bucket counts 1/2/3 become cumulative 1/3/6; +Inf carries the
+  // full count including overflow.
+  EXPECT_NE(text.find(n + "_bucket{le=\"0.001\"} 1\n"), std::string::npos);
+  EXPECT_NE(text.find(n + "_bucket{le=\"0.01\"} 3\n"), std::string::npos);
+  EXPECT_NE(text.find(n + "_bucket{le=\"0.1\"} 6\n"), std::string::npos);
+  EXPECT_NE(text.find(n + "_bucket{le=\"+Inf\"} 10\n"), std::string::npos);
+  EXPECT_NE(text.find(n + "_sum 1.5\n"), std::string::npos);
+  EXPECT_NE(text.find(n + "_count 10\n"), std::string::npos);
+  // Cumulative buckets must come before _sum/_count in family order.
+  EXPECT_LT(text.find("_bucket"), text.find("_sum"));
+}
+
+TEST(PrometheusText, EmptySnapshotYieldsEmptyExposition) {
+  EXPECT_EQ(prometheus_text(MetricsRegistry::Snapshot{}), "");
+}
+
+// --- log-spaced buckets + quantile estimation ------------------------
+
+TEST(LogSpacedBuckets, CoversRangeWithConstantRatio) {
+  const auto b = log_spaced_buckets(1e-3, 1.0, 3);
+  ASSERT_GE(b.size(), 2u);
+  EXPECT_DOUBLE_EQ(b.front(), 1e-3);
+  EXPECT_GE(b.back(), 1.0);
+  const f64 step = std::pow(10.0, 1.0 / 3.0);
+  for (std::size_t i = 1; i + 1 < b.size(); ++i) {
+    EXPECT_GT(b[i], b[i - 1]);
+    EXPECT_NEAR(b[i] / b[i - 1], step, 1e-9);
+  }
+}
+
+TEST(LogSpacedBuckets, RejectsBadRanges) {
+  EXPECT_THROW(log_spaced_buckets(0.0, 1.0, 3), Error);
+  EXPECT_THROW(log_spaced_buckets(1.0, 0.5, 3), Error);
+  EXPECT_THROW(log_spaced_buckets(1e-3, 1.0, 0), Error);
+}
+
+TEST(HistogramQuantile, EmptyHistogramIsZero) {
+  const std::vector<f64> bounds = {1.0, 2.0};
+  const std::vector<u64> counts = {0, 0, 0};
+  EXPECT_EQ(histogram_quantile(bounds, counts, 0.5), 0.0);
+}
+
+TEST(HistogramQuantile, WithinDocumentedRelativeError) {
+  // All observations at one value: any quantile estimate must land in
+  // that value's bucket, i.e. within a factor of 10^(1/per_decade).
+  const u32 per_decade = 5;
+  const auto bounds = log_spaced_buckets(1e-6, 10.0, per_decade);
+  const f64 truth = 0.0123;
+  std::vector<u64> counts(bounds.size() + 1, 0);
+  std::size_t b = 0;
+  while (b < bounds.size() && truth > bounds[b]) ++b;
+  counts[b] = 1000;
+
+  const f64 step = std::pow(10.0, 1.0 / per_decade);
+  for (const f64 q : {0.01, 0.5, 0.99}) {
+    const f64 est = histogram_quantile(bounds, counts, q);
+    EXPECT_LE(est / truth, step * (1.0 + 1e-9)) << "q=" << q;
+    EXPECT_GE(est / truth, 1.0 / step * (1.0 - 1e-9)) << "q=" << q;
+  }
+}
+
+TEST(HistogramQuantile, InterpolatesAcrossBuckets) {
+  // 50 observations <= 1, 50 in (1, 2]: the median sits at the shared
+  // edge and p75 must interpolate into the second bucket.
+  const std::vector<f64> bounds = {1.0, 2.0};
+  const std::vector<u64> counts = {50, 50, 0};
+  EXPECT_NEAR(histogram_quantile(bounds, counts, 0.5), 1.0, 1e-9);
+  const f64 p75 = histogram_quantile(bounds, counts, 0.75);
+  EXPECT_GT(p75, 1.0);
+  EXPECT_LE(p75, 2.0);
+}
+
+TEST(HistogramQuantile, OverflowBucketClampsToLastBound) {
+  const std::vector<f64> bounds = {1.0, 2.0};
+  const std::vector<u64> counts = {0, 0, 10};  // everything overflowed
+  EXPECT_EQ(histogram_quantile(bounds, counts, 0.99), 2.0);
+}
+
+// --- Perfetto trace-event JSON ---------------------------------------
+
+SpanRecord make_record(u64 trace, u64 span, u64 parent, const char* name,
+                       u64 start_ns, u64 dur_ns, u32 tid) {
+  SpanRecord r;
+  r.trace_id = trace;
+  r.span_id = span;
+  r.parent_id = parent;
+  r.name = name;
+  r.start_ns = start_ns;
+  r.duration_ns = dur_ns;
+  r.thread_index = tid;
+  return r;
+}
+
+TEST(PerfettoTraceJson, EmitsCompleteEventsWithCausalArgs) {
+  const std::vector<SpanRecord> spans = {
+      make_record(9, 1, 0, "serve.recompute", 2000, 5000, 0),
+      make_record(9, 2, 1, "core.solve", 3000, 1000, 1),
+  };
+  const std::string json = perfetto_trace_json(spans);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"serve.recompute\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"core.solve\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // ns -> us conversion: start 2000ns = 2us, dur 5000ns = 5us.
+  EXPECT_NE(json.find("\"ts\":2,"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":5,"), std::string::npos);
+  // The causal tree survives the round-trip through args.
+  EXPECT_NE(json.find("\"parent_id\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"trace_id\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+TEST(PerfettoTraceJson, EmptySpanListIsStillValidDocument) {
+  EXPECT_EQ(perfetto_trace_json({}),
+            "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[]}");
+}
+
+TEST(WritePerfettoTrace, WritesFileAtomicallyAndCreatesParents) {
+  namespace fs = std::filesystem;
+  const fs::path dir =
+      fs::temp_directory_path() / "srsr_expfmt_test" / "nested";
+  const fs::path out = dir / "trace.json";
+  fs::remove_all(dir.parent_path());
+
+  const std::vector<SpanRecord> spans = {
+      make_record(1, 1, 0, "root", 0, 100, 0)};
+  write_perfetto_trace(out.string(), spans);
+
+  ASSERT_TRUE(fs::exists(out));
+  EXPECT_FALSE(fs::exists(out.string() + ".tmp"));  // renamed, not left
+  std::ifstream in(out);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"name\":\"root\""), std::string::npos);
+  fs::remove_all(dir.parent_path());
+}
+
+TEST(WritePerfettoTrace, FailurePathThrowsAndCleansTmp) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "srsr_expfmt_fail";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  // The destination is a non-empty directory: the final rename must
+  // fail even for root, and the temp file must not be left behind.
+  const fs::path out = dir / "trace.json";
+  fs::create_directories(out / "blocker");
+
+  const std::vector<SpanRecord> spans = {
+      make_record(1, 1, 0, "root", 0, 100, 0)};
+  EXPECT_THROW(write_perfetto_trace(out.string(), spans), Error);
+  EXPECT_FALSE(fs::exists(out.string() + ".tmp"));
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace srsr::obs

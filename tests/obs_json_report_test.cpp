@@ -1,0 +1,148 @@
+// Tests for the JSON emission helpers (obs/json.hpp) and the RunReport
+// write discipline (obs/report.hpp): escaping of quotes, backslashes,
+// control characters and non-ASCII bytes, number round-tripping, and
+// the temp-file + atomic-rename failure path — a write that cannot
+// complete must throw and leave the previously written report intact.
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "obs/report.hpp"
+#include "util/check.hpp"
+
+namespace srsr::obs {
+namespace {
+
+// --- json::quote -----------------------------------------------------
+
+TEST(JsonQuote, PlainTextPassesThroughQuoted) {
+  EXPECT_EQ(json::quote("hello"), "\"hello\"");
+  EXPECT_EQ(json::quote(""), "\"\"");
+}
+
+TEST(JsonQuote, EscapesQuotesAndBackslashes) {
+  EXPECT_EQ(json::quote("say \"hi\""), "\"say \\\"hi\\\"\"");
+  EXPECT_EQ(json::quote("C:\\path\\file"), "\"C:\\\\path\\\\file\"");
+}
+
+TEST(JsonQuote, EscapesNamedControlCharacters) {
+  EXPECT_EQ(json::quote("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(json::quote("a\rb"), "\"a\\rb\"");
+  EXPECT_EQ(json::quote("a\tb"), "\"a\\tb\"");
+}
+
+TEST(JsonQuote, EscapesRemainingControlCharactersAsUnicode) {
+  EXPECT_EQ(json::quote(std::string("a\x01") + "b"), "\"a\\u0001b\"");
+  EXPECT_EQ(json::quote(std::string("x\x1f") + "y"), "\"x\\u001fy\"");
+  // Embedded NUL must not truncate the string.
+  EXPECT_EQ(json::quote(std::string("a\0b", 3)), "\"a\\u0000b\"");
+}
+
+TEST(JsonQuote, NonAsciiBytesPassThroughAsUtf8) {
+  // UTF-8 payloads are legal inside JSON strings byte-for-byte; the
+  // escaper must not mangle multi-byte sequences into \u escapes.
+  const std::string host = "h\xC3\xB6st.example";  // "höst"
+  EXPECT_EQ(json::quote(host), "\"" + host + "\"");
+}
+
+// --- json::number / json::boolean ------------------------------------
+
+TEST(JsonNumber, RoundTripsAndHandlesNonFinite) {
+  EXPECT_EQ(json::number(2.0), "2");
+  EXPECT_EQ(json::number(0.25), "0.25");
+  EXPECT_EQ(json::number(std::numeric_limits<f64>::quiet_NaN()), "null");
+  EXPECT_EQ(json::number(std::numeric_limits<f64>::infinity()), "null");
+  EXPECT_EQ(json::number(u64{18446744073709551615ull}),
+            "18446744073709551615");
+  EXPECT_EQ(json::boolean(true), "true");
+  EXPECT_EQ(json::boolean(false), "false");
+}
+
+// --- RunReport escaping end to end -----------------------------------
+
+TEST(RunReport, MetaValuesAreEscapedInJson) {
+  RunReport report("escaping");
+  report.set_meta("note", std::string("line1\nline2 \"quoted\""));
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("line1\\nline2 \\\"quoted\\\""), std::string::npos);
+  // The raw newline must NOT appear inside the document.
+  EXPECT_EQ(json.find("line1\nline2"), std::string::npos);
+}
+
+// --- RunReport::write failure path -----------------------------------
+
+std::string slurp(const std::filesystem::path& p) {
+  std::ifstream in(p);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(RunReportWrite, WritesAtomicallyAndLeavesNoTempFile) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "srsr_report_test";
+  fs::remove_all(dir);
+  const fs::path path = dir / "nested" / "report.json";
+
+  RunReport report("atomic");
+  report.set_meta("k", u64{1});
+  report.write(path.string());
+
+  EXPECT_TRUE(fs::exists(path));
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));
+  EXPECT_NE(slurp(path).find("\"name\":\"atomic\""), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(RunReportWrite, FailedWriteKeepsOldReportIntact) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "srsr_report_fail";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const fs::path path = dir / "report.json";
+
+  RunReport first("first");
+  first.set_meta("generation", u64{1});
+  first.write(path.string());
+  const std::string original = slurp(path);
+  ASSERT_NE(original.find("\"first\""), std::string::npos);
+
+  // Block the temp slot with a directory: the tests run as root, so
+  // permission bits cannot make the directory unwritable — a path
+  // collision forces the same failure mode (the temp file cannot be
+  // opened) regardless of privilege.
+  fs::create_directories(path.string() + ".tmp");
+  RunReport second("second");
+  second.set_meta("generation", u64{2});
+  EXPECT_THROW(second.write(path.string()), Error);
+
+  // The old report is byte-identical: the failed write never touched it.
+  EXPECT_EQ(slurp(path), original);
+  fs::remove_all(dir);
+}
+
+TEST(RunReportWrite, RenameFailureCleansTempAndKeepsTarget) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "srsr_report_rename";
+  fs::remove_all(dir);
+  // The destination is a non-empty directory: the temp file writes
+  // fine, but the final rename cannot replace a directory — the other
+  // half of the failure path.
+  const fs::path path = dir / "report.json";
+  fs::create_directories(path / "blocker");
+
+  RunReport report("blocked");
+  EXPECT_THROW(report.write(path.string()), Error);
+  EXPECT_FALSE(fs::exists(path.string() + ".tmp"));  // cleaned up
+  EXPECT_TRUE(fs::is_directory(path));               // target untouched
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace srsr::obs

@@ -1,0 +1,230 @@
+#!/usr/bin/env python3
+"""Validator for Prometheus text exposition format 0.0.4, as emitted by
+`srsr_cli stats --prometheus` and the serve-protocol `metrics` request
+(src/obs/expfmt.cpp). Reads the exposition from stdin (or a file) and
+checks the invariants a real Prometheus scraper relies on:
+
+  * every sample line parses as `name{labels} value` with a valid
+    metric name ([a-zA-Z_:][a-zA-Z0-9_:]*) and a float value;
+  * every metric family has exactly one `# TYPE` line, appearing
+    before its first sample;
+  * counter sample names end in `_total`;
+  * histogram families expose `<name>_bucket` with non-decreasing
+    cumulative counts over increasing `le` edges, a final
+    `le="+Inf"` bucket, and `<name>_sum` / `<name>_count` samples
+    with `+Inf` bucket == `_count`;
+  * no duplicate sample (same name + label set).
+
+Exit code 0 when the exposition is valid, 1 with a listing otherwise.
+Used by scripts/ci.sh to gate the exporter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                     r"(counter|gauge|histogram|summary|untyped)$")
+HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) (.*)$")
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(?:\{([^}]*)\})? (\S+)(?: \d+)?$")
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def parse_value(text: str) -> float | None:
+    if text in ("+Inf", "Inf"):
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    if text == "NaN":
+        return math.nan
+    try:
+        return float(text)
+    except ValueError:
+        return None
+
+
+def parse_labels(text: str) -> dict[str, str] | None:
+    """`a="x",b="y"` -> dict; None when malformed."""
+    if not text:
+        return {}
+    out: dict[str, str] = {}
+    for part in text.split(","):
+        m = LABEL_RE.match(part)
+        if not m or m.group(1) in out:
+            return None
+        out[m.group(1)] = m.group(2)
+    return out
+
+
+def family_of(name: str) -> str:
+    """Sample name -> metric family (strips histogram/summary suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+class Checker:
+    def __init__(self) -> None:
+        self.errors: list[str] = []
+        self.types: dict[str, str] = {}
+        self.samples: list[tuple[int, str, dict[str, str], float]] = []
+        self.seen_keys: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
+        self.first_sample_line: dict[str, int] = {}
+
+    def fail(self, lineno: int, msg: str) -> None:
+        self.errors.append(f"line {lineno}: {msg}")
+
+    def feed(self, lineno: int, raw: str) -> None:
+        line = raw.rstrip("\n")
+        if not line.strip():
+            return
+        if line.startswith("#"):
+            if HELP_RE.match(line):
+                return
+            m = TYPE_RE.match(line)
+            if not m:
+                self.fail(lineno, f"malformed comment line: {line!r}")
+                return
+            family = m.group(1)
+            if family in self.types:
+                self.fail(lineno, f"duplicate # TYPE for {family}")
+            if family in self.first_sample_line:
+                self.fail(lineno, f"# TYPE {family} after its first sample "
+                                  f"(line {self.first_sample_line[family]})")
+            self.types[family] = m.group(2)
+            return
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            self.fail(lineno, f"malformed sample line: {line!r}")
+            return
+        name, labels_text, value_text = m.group(1), m.group(2), m.group(3)
+        labels = parse_labels(labels_text or "")
+        if labels is None:
+            self.fail(lineno, f"malformed labels on {name}: {labels_text!r}")
+            return
+        value = parse_value(value_text)
+        if value is None:
+            self.fail(lineno, f"malformed value on {name}: {value_text!r}")
+            return
+        key = (name, tuple(sorted(labels.items())))
+        if key in self.seen_keys:
+            self.fail(lineno, f"duplicate sample {name}{labels_text or ''}")
+        self.seen_keys.add(key)
+        family = family_of(name)
+        self.first_sample_line.setdefault(family, lineno)
+        # _bucket/_sum/_count only belong to a declared histogram family;
+        # otherwise the sample is its own (plain) family.
+        if family not in self.types or name == family:
+            family = name
+            self.first_sample_line.setdefault(family, lineno)
+        self.samples.append((lineno, name, labels, value))
+
+    def finish(self) -> None:
+        # Per-family structural checks.
+        by_family: dict[str, list[tuple[int, str, dict[str, str], float]]] = {}
+        for sample in self.samples:
+            by_family.setdefault(family_of(sample[1]), []).append(sample)
+
+        for name, _labels_key in sorted(self.seen_keys):
+            family = family_of(name)
+            if family not in self.types and name not in self.types:
+                self.fail(self.first_sample_line.get(family, 0),
+                          f"sample {name} has no # TYPE declaration")
+
+        for family, kind in self.types.items():
+            rows = by_family.get(family, [])
+            if not rows:
+                self.fail(0, f"# TYPE {family} {kind} declared but no samples")
+                continue
+            if kind == "counter":
+                for lineno, name, _labels, value in rows:
+                    if not name.endswith("_total"):
+                        self.fail(lineno,
+                                  f"counter sample {name} must end in _total")
+                    if value < 0:
+                        self.fail(lineno, f"counter {name} is negative")
+            elif kind == "histogram":
+                self.check_histogram(family, rows)
+
+    def check_histogram(
+            self, family: str,
+            rows: list[tuple[int, str, dict[str, str], float]]) -> None:
+        buckets: list[tuple[int, float, float]] = []  # (line, le, count)
+        total = None
+        has_sum = False
+        for lineno, name, labels, value in rows:
+            if name == family + "_bucket":
+                le = parse_value(labels.get("le", ""))
+                if le is None:
+                    self.fail(lineno, f"{name} has no parseable le label")
+                    continue
+                buckets.append((lineno, le, value))
+            elif name == family + "_count":
+                total = value
+            elif name == family + "_sum":
+                has_sum = True
+            else:
+                self.fail(lineno, f"unexpected sample {name} in histogram "
+                                  f"family {family}")
+        first_line = rows[0][0]
+        if not buckets:
+            self.fail(first_line, f"histogram {family} has no _bucket samples")
+            return
+        if total is None:
+            self.fail(first_line, f"histogram {family} missing _count")
+        if not has_sum:
+            self.fail(first_line, f"histogram {family} missing _sum")
+        prev_le, prev_count = -math.inf, 0.0
+        for lineno, le, count in buckets:
+            if le <= prev_le:
+                self.fail(lineno, f"{family}_bucket le edges not increasing "
+                                  f"({le} after {prev_le})")
+            if count < prev_count:
+                self.fail(lineno, f"{family}_bucket counts not cumulative "
+                                  f"({count} after {prev_count})")
+            prev_le, prev_count = le, count
+        last_line, last_le, last_count = buckets[-1]
+        if not math.isinf(last_le):
+            self.fail(last_line, f"{family}_bucket missing le=\"+Inf\" bucket")
+        elif total is not None and last_count != total:
+            self.fail(last_line, f"{family} +Inf bucket {last_count} != "
+                                 f"_count {total}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("path", nargs="?", default="-",
+                    help="exposition file, or - for stdin (default)")
+    ap.add_argument("--require-metrics", action="store_true",
+                    help="fail when the exposition contains no samples "
+                         "(catches an exporter that silently emits nothing)")
+    args = ap.parse_args()
+
+    stream = sys.stdin if args.path == "-" else open(args.path, encoding="utf-8")
+    checker = Checker()
+    with stream:
+        for lineno, raw in enumerate(stream, start=1):
+            checker.feed(lineno, raw)
+    checker.finish()
+    if args.require_metrics and not checker.samples:
+        checker.errors.append("exposition contains no samples")
+
+    if checker.errors:
+        print(f"check_expfmt: {len(checker.errors)} error(s):")
+        for e in checker.errors:
+            print("  " + e)
+        return 1
+    print(f"check_expfmt: valid ({len(checker.types)} families, "
+          f"{len(checker.samples)} samples)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

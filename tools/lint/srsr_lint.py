@@ -27,6 +27,13 @@ Rules (each can be waived per line with `// srsr-lint: allow(<rule>)`):
              background worker); ad-hoc threads elsewhere escape the
              tsan test matrix. bench/ and examples/ may spawn load-
              generator threads freely.
+  metric-name  a string-literal metric registration
+             (.counter("…") / .gauge("…") / .histogram("…")) whose name
+             does not start with "srsr." — the registry enforces the
+             srsr.<subsystem>.<name> scheme at runtime; catching it at
+             lint time keeps the failure out of production telemetry
+             paths. Dynamically composed names (prefix + "…") are
+             checked at runtime only.
 
 Exit code 0 when clean, 1 with a file:line listing otherwise.
 """
@@ -51,6 +58,11 @@ RE_FLOAT_EQ = re.compile(
 RE_FLOAT_ZERO = re.compile(r"[=!]=\s*-?0\.0(?![\d])|0\.0\s*[=!]=")
 RE_CATCH_ALL = re.compile(r"catch\s*\(\s*\.\.\.\s*\)")
 RE_THREAD = re.compile(r"std::(?:jthread|thread)\b")
+# Literal metric registration whose name does not start with "srsr.".
+# Runs against the RAW line (strip_comments_and_strings would empty the
+# very literal being checked).
+RE_METRIC_NAME = re.compile(
+    r"\.(?:counter|gauge|histogram)\s*\(\s*\"(?!srsr\.)")
 
 SRC_EXTS = (".cpp", ".hpp")
 
@@ -145,6 +157,12 @@ class Linter:
                           "raw std::thread outside src/serve and "
                           "src/util — route work through util/parallel "
                           "or serve/recompute")
+
+            if RE_METRIC_NAME.search(raw) \
+                    and not self.waived(raw, "metric-name"):
+                self.fail(path, lineno, "metric-name",
+                          "metric name must follow the "
+                          "srsr.<subsystem>.<name> scheme")
 
             if RE_FLOAT_EQ.search(line) and not RE_FLOAT_ZERO.search(line) \
                     and not self.waived(raw, "float-eq"):

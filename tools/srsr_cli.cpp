@@ -5,21 +5,24 @@
 //             Write a synthetic crawl as pages.txt / edges.txt /
 //             labels.txt (+ terms.txt with --terms).
 //   rank      --in DIR [--algo pagerank|sourcerank|srsr] [--top K]
-//             [--seeds FILE] [--alpha A] [--trace FILE]
+//             [--seeds FILE] [--alpha A] [--trace FILE] [--trace-out FILE]
 //             Rank a crawl directory and print the top-K sources.
 //             --trace additionally records per-stage wall times and the
 //             per-iteration residual series, and writes one RunReport
 //             JSON document (obs/report.hpp schema) to FILE.
+//             --trace-out enables span tracing and writes the run's span
+//             tree as Chrome/Perfetto trace-event JSON to FILE.
 //   audit     --in DIR --seeds FILE [--topk K]
 //             Spam-proximity audit: print the K most spam-proximate
 //             sources with their throttle assignment.
 //   attack    --in DIR --target-source S --pages N [--cross C]
 //             Inject a link farm and report the rank movement of the
 //             target under PageRank and SRSR.
-//   stats     --in DIR [--alpha A] [--topk K] [--json]
+//   stats     --in DIR [--alpha A] [--topk K] [--json] [--prometheus]
 //             Run the full SRSR pipeline with telemetry enabled and
 //             print the run summary plus the metrics registry snapshot
-//             (--json emits the snapshot as JSON instead).
+//             (--json emits the snapshot as JSON, --prometheus as
+//             Prometheus text exposition format instead).
 //   sweep     --in DIR [--configs N] [--alpha A] [--mode absorb|discard]
 //             Build the model ONCE and rank N kappa configurations of
 //             increasing throttle strength through the lazy
@@ -34,9 +37,12 @@
 //             (scriptable: pipe a session in, parse stdout). Requests:
 //               top K | score HOST | rank HOST | compare HOST |
 //               recompute STRENGTH | labels HOST... | info | stats |
-//               quit
+//               metrics | tracefile FILE | quit
 //             recompute/labels re-solve in the background pipeline
 //             (warm-started) and atomically swap the live snapshot.
+//             info also reports the SLO and ranking-drift watchdogs;
+//             metrics dumps Prometheus text; tracefile writes collected
+//             spans as Perfetto trace JSON.
 //
 // The crawl directory format is the library's text interchange:
 //   pages.txt   "<page-id> <url>" per line
@@ -55,11 +61,14 @@
 #include "graph/io.hpp"
 #include "graph/webgen.hpp"
 #include "metrics/ranking.hpp"
+#include "obs/expfmt.hpp"
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "obs/span.hpp"
 #include "obs/stage_timer.hpp"
 #include "obs/trace.hpp"
 #include "rank/pagerank.hpp"
+#include "serve/monitor.hpp"
 #include "serve/query.hpp"
 #include "serve/recompute.hpp"
 #include "serve/snapshot.hpp"
@@ -184,6 +193,14 @@ int cmd_rank(const Args& args) {
   const bool tracing = args.has("trace");
   check(!tracing || !trace_path.empty(), "--trace needs a file path");
   if (tracing) obs::set_metrics_enabled(true);
+  const std::string trace_out = args.get("trace-out", "");
+  check(!args.has("trace-out") || !trace_out.empty(),
+        "--trace-out needs a file path");
+  if (!trace_out.empty()) obs::set_tracing_enabled(true);
+  // Root span of the whole command: the model/solve spans opened deeper
+  // in the library nest under it through the thread-local cursor. A
+  // no-op (one relaxed load) without --trace-out.
+  obs::Span root_span("cli.rank");
 
   obs::RunReport report("rank");
   obs::IterationTrace trace;
@@ -261,6 +278,13 @@ int cmd_rank(const Args& args) {
     report.write(trace_path);
     std::cout << "wrote run report to " << trace_path << '\n';
   }
+  if (!trace_out.empty()) {
+    root_span.finish();  // close before draining so the root is included
+    const auto spans = obs::collect_spans();
+    obs::write_perfetto_trace(trace_out, spans);
+    std::cout << "wrote " << spans.size() << " spans to " << trace_out
+              << '\n';
+  }
   return 0;
 }
 
@@ -288,6 +312,12 @@ int cmd_stats(const Args& args) {
     result = model.rank_baseline();
   }
 
+  if (args.has("prometheus")) {
+    // Text exposition format 0.0.4 — scrapeable by a Prometheus server
+    // and validated in CI by tools/lint/check_expfmt.py.
+    std::cout << obs::prometheus_text();
+    return 0;
+  }
   if (args.has("json")) {
     std::cout << obs::MetricsRegistry::instance().snapshot_json() << '\n';
     return 0;
@@ -320,6 +350,11 @@ int cmd_sweep(const Args& args) {
   const std::string mode_name = args.get("mode", "discard");
   check(mode_name == "absorb" || mode_name == "discard",
         "--mode must be absorb or discard");
+  const std::string trace_out = args.get("trace-out", "");
+  check(!args.has("trace-out") || !trace_out.empty(),
+        "--trace-out needs a file path");
+  if (!trace_out.empty()) obs::set_tracing_enabled(true);
+  obs::Span root_span("cli.sweep");
 
   const auto crawl = load_crawl(in_dir);
   const auto& corpus = crawl.corpus;
@@ -364,6 +399,13 @@ int cmd_sweep(const Args& args) {
   std::cout << t.render("Kappa sweep (" + std::to_string(configs) +
                         " configs, mode=" + mode_name + ", model built in " +
                         TextTable::fixed(build_seconds, 3) + "s)");
+  if (!trace_out.empty()) {
+    root_span.finish();
+    const auto spans = obs::collect_spans();
+    obs::write_perfetto_trace(trace_out, spans);
+    std::cout << "wrote " << spans.size() << " spans to " << trace_out
+              << '\n';
+  }
   return 0;
 }
 
@@ -378,6 +420,10 @@ int cmd_serve(const Args& args) {
   check(mode_name == "absorb" || mode_name == "discard",
         "--mode must be absorb or discard");
   if (args.has("metrics")) obs::set_metrics_enabled(true);
+  // Tracing is always on in serve: the per-query cost is a few ring
+  // writes, and it makes the `tracefile` request useful without a
+  // restart. Batch commands stay opt-in via --trace-out.
+  obs::set_tracing_enabled(true);
 
   const auto crawl = load_crawl(in_dir);
   const auto& corpus = crawl.corpus;
@@ -412,8 +458,17 @@ int cmd_serve(const Args& args) {
   const auto baseline = std::make_shared<const serve::RankSnapshot>(
       serve::make_snapshot(model, zeros, corpus.source_hosts,
                            baseline_build));
-  const serve::QueryEngine engine(store, baseline);
-  serve::RecomputePipeline pipeline(model, corpus.source_hosts, store);
+  // Watchdogs: every query's latency feeds the SLO monitor; every
+  // publish is drift-checked against its predecessor (the first one
+  // only establishes the baseline).
+  serve::SloMonitor slo;
+  serve::DriftMonitor drift;
+  const serve::QueryEngine engine(store, baseline, &slo);
+  serve::RecomputeConfig recompute_cfg;
+  recompute_cfg.slo = &slo;
+  recompute_cfg.drift = &drift;
+  serve::RecomputePipeline pipeline(model, corpus.source_hosts, store,
+                                    recompute_cfg);
   pipeline.submit(policy, policy_name);
   pipeline.drain();
   {
@@ -522,6 +577,33 @@ int cmd_serve(const Args& args) {
                 << ", solver " << m.solver << ", iterations "
                 << m.iterations << ", checksum_ok "
                 << (snap->verify_checksum() ? "yes" : "no") << '\n';
+      const auto s = slo.evaluate();
+      std::cout << "slo p50 " << TextTable::sci(s.p50, 3) << "s, p99 "
+                << TextTable::sci(s.p99, 3) << "s, staleness "
+                << TextTable::fixed(s.staleness_seconds, 1) << "s, queries "
+                << s.total_queries << ", breaches "
+                << s.p50_breaches + s.p99_breaches + s.staleness_breaches
+                << ", healthy " << (s.healthy ? "yes" : "no") << '\n';
+      const auto d = drift.last_report();
+      std::cout << "drift epochs " << d.from_epoch << "->" << d.to_epoch
+                << ", l1 " << TextTable::sci(d.l1_delta, 3) << ", churn "
+                << TextTable::fixed(d.topk_churn, 2) << ", outliers "
+                << d.outliers << ", anomalies " << drift.anomalies()
+                << ", anomalous " << (d.anomalous ? "yes" : "no") << '\n';
+    } else if (req == "metrics") {
+      // Prometheus text exposition of the whole registry (empty unless
+      // --metrics enabled recording).
+      std::cout << obs::prometheus_text();
+    } else if (req == "tracefile") {
+      std::string path;
+      in >> path;
+      if (path.empty()) {
+        std::cout << "err tracefile needs a path\n";
+        continue;
+      }
+      const auto spans = obs::collect_spans();
+      obs::write_perfetto_trace(path, spans);
+      std::cout << "wrote " << spans.size() << " spans to " << path << '\n';
     } else if (req == "stats") {
       const auto st = pipeline.stats();
       std::cout << "published " << st.published << ", failed " << st.failed
@@ -617,16 +699,20 @@ void usage() {
       "commands:\n"
       "  generate --out DIR [--sources N] [--spam N] [--seed S] [--terms]\n"
       "  rank     --in DIR [--algo pagerank|sourcerank|srsr] [--top K]\n"
-      "           [--alpha A] [--topk K] [--trace FILE]\n"
+      "           [--alpha A] [--topk K] [--trace FILE] [--trace-out FILE]\n"
       "  audit    --in DIR [--topk K]     (needs labels.txt)\n"
       "  attack   --in DIR [--target-source S] [--pages N] [--cross C]\n"
-      "  stats    --in DIR [--alpha A] [--topk K] [--json]\n"
+      "  stats    --in DIR [--alpha A] [--topk K] [--json] [--prometheus]\n"
       "  sweep    --in DIR [--configs N] [--alpha A] [--topk K]\n"
-      "           [--mode absorb|discard]\n"
+      "           [--mode absorb|discard] [--trace-out FILE]\n"
       "  serve    --in DIR [--alpha A] [--topk K] [--mode absorb|discard]\n"
       "           [--metrics]   (requests on stdin: top K | score HOST |\n"
       "           rank HOST | compare HOST | recompute S | labels HOST... |\n"
-      "           info | stats | quit)\n";
+      "           info | stats | metrics | tracefile FILE | quit)\n"
+      "\n"
+      "--trace FILE writes a RunReport JSON document; --trace-out FILE\n"
+      "writes a Chrome/Perfetto trace-event JSON of the run's spans\n"
+      "(open at https://ui.perfetto.dev).\n";
 }
 
 }  // namespace
