@@ -62,10 +62,18 @@ inline graph::WebCorpus make_dataset(graph::ScaledDataset which) {
   return corpus;
 }
 
-/// Prints a bench table to stdout and optionally mirrors it to CSV.
+/// Prints a bench table to stdout, always mirrors it as a RunReport
+/// JSON document to bench_out/BENCH_<csv_name>.json (the machine-
+/// readable record a dashboard or regression diff consumes), and
+/// optionally mirrors it to CSV (SRSR_BENCH_CSV).
 inline void emit(const std::string& title, const std::string& csv_name,
                  const TextTable& table) {
   std::cout << '\n' << table.render(title) << std::flush;
+  obs::RunReport report(csv_name);
+  report.set_meta("title", title);
+  report.set_meta("rows", static_cast<u64>(table.row_count()));
+  report.set_table(table.headers(), table.rows());
+  report.write("bench_out/BENCH_" + csv_name + ".json");
   maybe_write_csv(csv_name, table);
 }
 
@@ -89,13 +97,13 @@ inline bool report_output_enabled() {
   return v != nullptr && v[0] != '\0';
 }
 
-/// Writes `report` as bench_out/<name>.json (mirroring maybe_write_csv)
-/// when SRSR_BENCH_REPORT is set. Returns the path written, or "" when
-/// disabled.
+/// Writes `report` as bench_out/BENCH_<name>.json (mirroring
+/// maybe_write_csv) when SRSR_BENCH_REPORT is set. Returns the path
+/// written, or "" when disabled.
 inline std::string maybe_write_report(const std::string& name,
                                       const obs::RunReport& report) {
   if (!report_output_enabled()) return {};
-  const std::string path = "bench_out/" + name + ".json";
+  const std::string path = "bench_out/BENCH_" + name + ".json";
   report.write(path);
   log_info("wrote ", path);
   return path;

@@ -1,13 +1,20 @@
 // Kernel microbenchmarks (google-benchmark): the hot paths behind the
 // experiment harness — rank iterations, source-graph construction, the
 // throttle transform, kappa sweeps (materialized vs lazy view), and
-// BV-style compression.
+// BV-style compression. Besides the console output, every run writes
+// bench_out/BENCH_micro_kernels.json (obs/report.hpp schema, one table
+// row per benchmark) — the same machine-readable record the table/
+// figure harnesses emit.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <atomic>
 #include <cstdlib>
 #include <new>
+#include <sstream>
+
+#include "obs/report.hpp"
+#include "util/table.hpp"
 
 #include "core/source_graph.hpp"
 #include "core/srsr.hpp"
@@ -419,7 +426,56 @@ void BM_SccDecomposition(benchmark::State& state) {
 }
 BENCHMARK(BM_SccDecomposition)->Unit(benchmark::kMillisecond);
 
+/// Console reporter that additionally collects every run into a
+/// RunReport table, written as bench_out/BENCH_micro_kernels.json.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    benchmark::ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      std::ostringstream counters;
+      bool first = true;
+      for (const auto& [key, counter] : run.counters) {
+        if (!first) counters << ';';
+        counters << key << '=' << static_cast<double>(counter);
+        first = false;
+      }
+      rows_.push_back({run.benchmark_name(),
+                       TextTable::fixed(run.GetAdjustedRealTime(), 3),
+                       TextTable::fixed(run.GetAdjustedCPUTime(), 3),
+                       benchmark::GetTimeUnitString(run.time_unit),
+                       TextTable::num(static_cast<u64>(run.iterations)),
+                       counters.str()});
+    }
+  }
+
+  void write_report() const {
+    obs::RunReport report("micro_kernels");
+    report.set_meta("benchmarks", static_cast<u64>(rows_.size()));
+    report.set_table(
+        {"name", "real_time", "cpu_time", "unit", "iterations", "counters"},
+        rows_);
+    report.write("bench_out/BENCH_micro_kernels.json");
+  }
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
 }  // namespace
 }  // namespace srsr
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  srsr::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.write_report();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,174 @@
+// Sharded-solve bench: block solvers vs the monolithic path on WB2001S.
+//
+// The experiment behind DESIGN.md Sec. 13's performance contract: build
+// one model per (shards, partitioner) configuration, run the same
+// 3-config kappa sweep through each (warm-started, the serve access
+// pattern), and report per-config solve time, speedup against the
+// monolithic baseline, iteration counts, the boundary-edge fraction of
+// the plan, and the worst |sigma delta| against the monolithic scores.
+//
+// Correctness gate: every configuration must match the monolithic
+// sigma to 1e-10 in Linf — the bench aborts loudly otherwise, so a
+// regression cannot hide in a timing table.
+//
+// Interpreting speedup: per-shard updates run serially inside one
+// process here (no executor), so block-Jacobi with inner_iterations = 1
+// does the monolithic work re-grouped by shard — parity (speedup ~1.0)
+// is the expected result on a single core, and the async sweep can beat
+// it only by converging in fewer rounds (it sees fresher scores; under
+// an SCC-aware plan one sweep walks the condensation in topological
+// order). The value measured here is the boundary-exchange overhead,
+// which the BENCH_sharded_solve.json record tracks release over
+// release; wall-clock wins come from giving the serve layer's
+// ShardWorkerPool real cores and from dirty-shard recomputes solving
+// O(changed shards).
+#include <cmath>
+#include <cstdlib>
+
+#include "bench/common.hpp"
+#include "core/spam_proximity.hpp"
+#include "core/kappa.hpp"
+#include "graph/partition.hpp"
+#include "rank/sharded_solve.hpp"
+
+namespace srsr::bench {
+namespace {
+
+constexpr u32 kConfigs = 3;
+constexpr f64 kParityTolerance = 1e-10;
+
+// The async sweep reaches the same fixed point along a different
+// iterate path, so at the paper's 1e-9 solve tolerance its final
+// iterate legitimately sits a few 1e-10 from the monolithic one. Gate
+// parity by solving every path (monolithic included) to 1e-12: the
+// contraction bound then puts each iterate within ~1e-11 of the true
+// sigma, well inside the 1e-10 gate. Relative timings are unaffected.
+constexpr f64 kSolveTolerance = 1e-12;
+
+core::SrsrConfig bench_config() {
+  core::SrsrConfig cfg = paper_srsr_config();
+  cfg.convergence.tolerance = kSolveTolerance;
+  return cfg;
+}
+
+std::vector<std::vector<f64>> sweep_kappas(const graph::WebCorpus& corpus,
+                                           const core::SourceGraph& sg) {
+  // The paper's policy ramp: throttle the spam-proximate sources at
+  // increasing strength (Sec. 6.2), the same vectors for every path.
+  const auto prox = core::spam_proximity(
+      sg.topology(), sample_spam_seeds(corpus.spam_sources(), 0.1, 42));
+  const auto weight = core::kappa_top_k(
+      prox.scores, 2 * static_cast<u32>(corpus.spam_sources().size()));
+  std::vector<std::vector<f64>> kappas;
+  for (u32 c = 0; c < kConfigs; ++c) {
+    std::vector<f64> kappa(weight);
+    for (f64& k : kappa)
+      k *= static_cast<f64>(c + 1) / kConfigs;
+    kappas.push_back(std::move(kappa));
+  }
+  return kappas;
+}
+
+struct SweepResult {
+  f64 seconds_per_config = 0.0;
+  u64 iterations = 0;
+  f64 max_delta = 0.0;  // Linf vs the reference scores, worst config
+};
+
+SweepResult run_sweep(const core::SpamResilientSourceRank& model,
+                      const std::vector<std::vector<f64>>& kappas,
+                      const std::vector<std::vector<f64>>* reference) {
+  SweepResult out;
+  WallTimer timer;
+  std::vector<f64> warm;
+  for (u32 c = 0; c < kappas.size(); ++c) {
+    const auto r = warm.empty() ? model.rank(kappas[c])
+                                : model.rank(kappas[c], warm);
+    out.iterations += r.iterations;
+    if (reference) {
+      for (std::size_t s = 0; s < r.scores.size(); ++s)
+        out.max_delta = std::max(
+            out.max_delta, std::abs(r.scores[s] - (*reference)[c][s]));
+    }
+    warm = r.scores;
+  }
+  out.seconds_per_config = timer.seconds() / kConfigs;
+  return out;
+}
+
+int run() {
+  const auto corpus = make_dataset(graph::ScaledDataset::kWB2001S);
+  const core::SourceMap map = core::SourceMap::from_corpus(corpus);
+
+  const core::SpamResilientSourceRank mono(corpus.pages, map,
+                                           bench_config());
+  const auto kappas = sweep_kappas(corpus, mono.source_graph());
+
+  // Monolithic baseline + the reference sigmas all runs diff against.
+  std::vector<std::vector<f64>> reference;
+  {
+    std::vector<f64> warm;
+    for (const auto& kappa : kappas) {
+      auto r = warm.empty() ? mono.rank(kappa) : mono.rank(kappa, warm);
+      warm = r.scores;
+      reference.push_back(std::move(r.scores));
+    }
+  }
+  const SweepResult base = run_sweep(mono, kappas, nullptr);
+
+  TextTable t({"shards", "partition", "schedule", "boundary", "s/config",
+               "speedup", "iterations", "max|dsigma|"});
+  t.add_row({"1 (mono)", "-", "-", "-",
+             TextTable::fixed(base.seconds_per_config, 4), "1.00",
+             TextTable::num(base.iterations), "0"});
+
+  const u64 total_edges = mono.source_graph().topology().num_edges();
+  bool ok = true;
+  for (const u32 shards : {1u, 2u, 4u, 8u}) {
+    for (const auto mode : {graph::PartitionMode::kHostHash,
+                            graph::PartitionMode::kSccAware}) {
+      for (const auto schedule : {rank::ShardSchedule::kBlockJacobi,
+                                  rank::ShardSchedule::kAsyncSweep}) {
+        core::SrsrConfig cfg = bench_config();
+        cfg.sharding.shards = shards;
+        cfg.sharding.partition = mode;
+        cfg.sharding.schedule = schedule;
+        const core::SpamResilientSourceRank model(corpus.pages, map, cfg);
+        const f64 boundary =
+            total_edges == 0
+                ? 0.0
+                : static_cast<f64>(model.shard_plan().count_boundary_edges(
+                      model.source_graph().topology())) /
+                      static_cast<f64>(total_edges);
+        const SweepResult r = run_sweep(model, kappas, &reference);
+        if (r.max_delta > kParityTolerance) ok = false;
+        t.add_row({TextTable::num(shards),
+                   graph::partition_mode_name(mode),
+                   rank::shard_schedule_name(schedule),
+                   TextTable::pct(boundary, 1),
+                   TextTable::fixed(r.seconds_per_config, 4),
+                   TextTable::fixed(
+                       base.seconds_per_config / r.seconds_per_config, 2),
+                   TextTable::num(r.iterations),
+                   TextTable::sci(r.max_delta, 2)});
+      }
+    }
+  }
+
+  emit("Sharded solve vs monolithic (WB2001S, " +
+           std::to_string(kConfigs) + "-config warm sweep, solve tol " +
+           TextTable::sci(kSolveTolerance, 0) + ", parity gate " +
+           TextTable::sci(kParityTolerance, 0) + ")",
+       "sharded_solve", t);
+  if (!ok) {
+    log_error("sharded solve diverged from the monolithic sigma beyond ",
+              kParityTolerance);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace srsr::bench
+
+int main() { return srsr::bench::run(); }

@@ -1,0 +1,171 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "graph/builder.hpp"
+#include "graph/scc.hpp"
+#include "util/check.hpp"
+
+namespace srsr::graph {
+
+namespace {
+
+/// Finalizer from a stateless 64-bit mixer (splitmix64): full avalanche,
+/// so consecutive node ids spread evenly across shards.
+u64 mix64(u64 x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::vector<u32> hash_assignment(NodeId n, u32 k) {
+  std::vector<u32> shard_of(n);
+  for (NodeId v = 0; v < n; ++v)
+    shard_of[v] = static_cast<u32>(mix64(v) % k);
+  return shard_of;
+}
+
+/// Walks condensation components in topological order (component ids
+/// are numbered in REVERSE topological order, so that is descending id)
+/// and cuts them into K contiguous bands of roughly equal node count.
+std::vector<u32> scc_assignment(const Graph& g, u32 k) {
+  const NodeId n = g.num_nodes();
+  const SccResult scc = strongly_connected_components(g);
+  const std::vector<u32> sizes = scc.component_size();
+
+  std::vector<u32> shard_of_component(scc.num_components, 0);
+  u64 remaining_nodes = n;
+  u32 remaining_shards = k;
+  u32 shard = 0;
+  u64 filled = 0;  // nodes placed into `shard` so far
+  for (u32 step = 0; step < scc.num_components; ++step) {
+    const u32 comp = scc.num_components - 1 - step;  // topological order
+    // Greedy equal-count banding: close the shard once it holds its
+    // fair share of what is left. ceil keeps the last shard from
+    // swallowing every rounding remainder.
+    const u64 target =
+        (remaining_nodes + remaining_shards - 1) / remaining_shards;
+    if (filled >= target && shard + 1 < k) {
+      remaining_nodes -= filled;
+      --remaining_shards;
+      ++shard;
+      filled = 0;
+    }
+    shard_of_component[comp] = shard;
+    filled += sizes[comp];
+  }
+
+  std::vector<u32> shard_of(n);
+  for (NodeId v = 0; v < n; ++v)
+    shard_of[v] = shard_of_component[scc.component[v]];
+  return shard_of;
+}
+
+}  // namespace
+
+const char* partition_mode_name(PartitionMode mode) {
+  return mode == PartitionMode::kHostHash ? "hash" : "scc";
+}
+
+ShardPlan ShardPlan::build(const Graph& g, const PartitionConfig& config) {
+  const u32 k = config.num_shards;
+  SRSR_CHECK(k >= 1, "ShardPlan: num_shards = ", k, ", must be >= 1");
+  const NodeId n = g.num_nodes();
+
+  ShardPlan plan;
+  plan.mode_ = config.mode;
+  if (k == 1) {
+    // Identity plan: one shard owning everything, local == global.
+    plan.shard_of_.assign(n, 0);
+    plan.local_of_.resize(n);
+    plan.members_.resize(n);
+    std::iota(plan.local_of_.begin(), plan.local_of_.end(), NodeId{0});
+    std::iota(plan.members_.begin(), plan.members_.end(), NodeId{0});
+    plan.member_offsets_ = {0, n};
+    plan.validate();
+    return plan;
+  }
+
+  plan.shard_of_ = config.mode == PartitionMode::kHostHash
+                       ? hash_assignment(n, k)
+                       : scc_assignment(g, k);
+
+  // Counting sort into shard-major member lists; walking nodes in
+  // ascending id keeps each shard's members ascending.
+  plan.member_offsets_.assign(k + 1, 0);
+  for (NodeId v = 0; v < n; ++v) ++plan.member_offsets_[plan.shard_of_[v] + 1];
+  for (u32 s = 0; s < k; ++s)
+    plan.member_offsets_[s + 1] += plan.member_offsets_[s];
+  plan.members_.resize(n);
+  plan.local_of_.resize(n);
+  std::vector<u64> cursor(plan.member_offsets_.begin(),
+                          plan.member_offsets_.end() - 1);
+  for (NodeId v = 0; v < n; ++v) {
+    const u32 s = plan.shard_of_[v];
+    plan.local_of_[v] =
+        static_cast<NodeId>(cursor[s] - plan.member_offsets_[s]);
+    plan.members_[cursor[s]++] = v;
+  }
+  plan.validate();
+  return plan;
+}
+
+u32 ShardPlan::num_nonempty_shards() const {
+  u32 count = 0;
+  for (u32 s = 0; s < num_shards(); ++s)
+    if (shard_size(s) > 0) ++count;
+  return count;
+}
+
+u64 ShardPlan::count_boundary_edges(const Graph& g) const {
+  SRSR_CHECK(g.num_nodes() == num_nodes(),
+             "ShardPlan::count_boundary_edges: graph has ", g.num_nodes(),
+             " nodes, plan has ", num_nodes());
+  u64 count = 0;
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (const NodeId v : g.out_neighbors(u))
+      if (shard_of_[u] != shard_of_[v]) ++count;
+  return count;
+}
+
+Graph ShardPlan::shard_subgraph(const Graph& g, u32 shard) const {
+  SRSR_CHECK(g.num_nodes() == num_nodes(),
+             "ShardPlan::shard_subgraph: graph has ", g.num_nodes(),
+             " nodes, plan has ", num_nodes());
+  SRSR_CHECK(shard < num_shards(), "ShardPlan::shard_subgraph: shard ",
+             shard, " out of ", num_shards());
+  GraphBuilder builder(shard_size(shard));
+  for (const NodeId u : members(shard))
+    for (const NodeId v : g.out_neighbors(u))
+      if (shard_of_[v] == shard) builder.add_edge(local_of_[u], local_of_[v]);
+  return builder.build();
+}
+
+void ShardPlan::validate() const {
+  const u32 k = num_shards();
+  const NodeId n = num_nodes();
+  SRSR_CHECK(local_of_.size() == n && members_.size() == n,
+             "ShardPlan: id maps sized ", local_of_.size(), "/",
+             members_.size(), " for ", n, " nodes");
+  SRSR_CHECK(member_offsets_.front() == 0 && member_offsets_.back() == n,
+             "ShardPlan: member offsets do not cover all ", n, " nodes");
+  for (u32 s = 0; s < k; ++s) {
+    SRSR_CHECK(member_offsets_[s] <= member_offsets_[s + 1],
+               "ShardPlan: shard ", s, " has negative size");
+    const auto m = members(s);
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      const NodeId v = m[i];
+      SRSR_CHECK(v < n, "ShardPlan: member ", v, " out of range");
+      SRSR_CHECK(i == 0 || m[i - 1] < v,
+                 "ShardPlan: shard ", s, " members not ascending");
+      SRSR_CHECK(shard_of_[v] == s, "ShardPlan: node ", v,
+                 " listed in shard ", s, " but assigned to ", shard_of_[v]);
+      SRSR_CHECK(local_of_[v] == i, "ShardPlan: node ", v,
+                 " local id ", local_of_[v], " != position ", i);
+    }
+  }
+}
+
+}  // namespace srsr::graph

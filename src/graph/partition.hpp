@@ -1,0 +1,118 @@
+// ShardPlan — node partitioning of a source graph into K shards.
+//
+// The sharding layer's root object: an immutable assignment of every
+// node to one of K shards plus the two id maps the rest of the stack
+// needs (global -> (shard, local) and shard -> sorted member list).
+// Everything above it — per-shard matrices, boundary exchange blocks,
+// the block solvers, the serve recompute workers — derives its indexing
+// from this plan, and ONLY from this plan (the srsr_lint
+// `shard-boundary` rule keeps raw halo/boundary buffer indexing out of
+// other layers).
+//
+// Two partitioners:
+//
+//   kHostHash  — shard_of(v) = mix64(v) % K, a stateless hash over the
+//                node id. Balanced in expectation, oblivious to
+//                structure; the mode multi-process deployments would
+//                use when sources arrive keyed by host.
+//   kSccAware  — components from graph/scc walked in topological order
+//                of the condensation and cut into K contiguous bands of
+//                roughly equal node count. An SCC never straddles a
+//                shard, and every cross-shard edge points from a lower
+//                shard id to a higher one (or within a shard), so one
+//                ascending sweep over shards is a full topological pass
+//                — the property the asynchronous-sweep solver exploits.
+//
+// Invariants (validated with SRSR_CHECK at build time):
+//   - every node is assigned to exactly one shard (ids < num_shards);
+//   - members(k) lists that shard's nodes in ascending global id, and
+//     local_of(v) is v's position in members(shard_of(v));
+//   - shard sizes sum to num_nodes(); empty shards are legal (K may
+//     exceed the node count, including on the empty graph).
+//
+// members(k) ascending is load-bearing: per-shard transposed rows then
+// enumerate sources in the same relative order as the monolithic
+// transpose, which is what makes the K=1 sharded solve bit-identical
+// to the unsharded path.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/common.hpp"
+
+namespace srsr::graph {
+
+enum class PartitionMode {
+  kHostHash,  // stateless hash of the node id
+  kSccAware,  // contiguous topological bands of condensation components
+};
+
+/// Human-readable mode name ("hash" | "scc").
+const char* partition_mode_name(PartitionMode mode);
+
+struct PartitionConfig {
+  u32 num_shards = 1;
+  PartitionMode mode = PartitionMode::kHostHash;
+};
+
+class ShardPlan {
+ public:
+  /// Identity plan: everything in shard 0 of 1.
+  ShardPlan() : member_offsets_(2, 0) {}
+
+  static ShardPlan build(const Graph& g, const PartitionConfig& config);
+
+  u32 num_shards() const {
+    return static_cast<u32>(member_offsets_.size() - 1);
+  }
+  NodeId num_nodes() const { return static_cast<NodeId>(shard_of_.size()); }
+  PartitionMode mode() const { return mode_; }
+
+  u32 shard_of(NodeId v) const { return shard_of_[v]; }
+  /// Position of v within members(shard_of(v)).
+  NodeId local_of(NodeId v) const { return local_of_[v]; }
+
+  /// Global ids owned by `shard`, ascending.
+  std::span<const NodeId> members(u32 shard) const {
+    return {members_.data() + member_offsets_[shard],
+            members_.data() + member_offsets_[shard + 1]};
+  }
+  NodeId shard_size(u32 shard) const {
+    return static_cast<NodeId>(member_offsets_[shard + 1] -
+                               member_offsets_[shard]);
+  }
+  NodeId global_of(u32 shard, NodeId local) const {
+    return members_[member_offsets_[shard] + local];
+  }
+  u32 num_nonempty_shards() const;
+
+  /// Edges of `g` whose endpoints live in different shards — the mass
+  /// that must cross the boundary-exchange structure each round.
+  u64 count_boundary_edges(const Graph& g) const;
+
+  /// The subgraph induced on members(shard), in local ids (intra-shard
+  /// edges only). This is the per-shard topology a CompressedGraph or
+  /// per-shard matrix is built over.
+  Graph shard_subgraph(const Graph& g, u32 shard) const;
+
+  u64 memory_bytes() const {
+    return shard_of_.size() * sizeof(u32) +
+           local_of_.size() * sizeof(NodeId) +
+           members_.size() * sizeof(NodeId) +
+           member_offsets_.size() * sizeof(u64);
+  }
+
+ private:
+  /// SRSR_CHECK pass over the invariants in the class comment.
+  void validate() const;
+
+  PartitionMode mode_ = PartitionMode::kHostHash;
+  std::vector<u32> shard_of_;        // node -> shard id
+  std::vector<NodeId> local_of_;     // node -> index within its shard
+  std::vector<NodeId> members_;      // shard-major, ascending per shard
+  std::vector<u64> member_offsets_;  // num_shards + 1
+};
+
+}  // namespace srsr::graph

@@ -38,6 +38,13 @@ void RunReport::capture_metrics() {
   metrics_json_ = MetricsRegistry::instance().snapshot_json();
 }
 
+void RunReport::set_table(std::vector<std::string> headers,
+                          std::vector<std::vector<std::string>> rows) {
+  has_table_ = true;
+  table_headers_ = std::move(headers);
+  table_rows_ = std::move(rows);
+}
+
 std::string RunReport::to_json() const {
   std::string out = "{\"schema_version\":1,\"name\":" + json::quote(name_);
   out += ",\"meta\":{";
@@ -76,6 +83,24 @@ std::string RunReport::to_json() const {
              ",\"seconds\":" + json::number(trace_[i].seconds) + "}";
     }
     out += "]";
+  }
+  if (has_table_) {
+    out += ",\"table\":{\"headers\":[";
+    for (std::size_t i = 0; i < table_headers_.size(); ++i) {
+      if (i) out += ',';
+      out += json::quote(table_headers_[i]);
+    }
+    out += "],\"rows\":[";
+    for (std::size_t r = 0; r < table_rows_.size(); ++r) {
+      if (r) out += ',';
+      out += '[';
+      for (std::size_t c = 0; c < table_rows_[r].size(); ++c) {
+        if (c) out += ',';
+        out += json::quote(table_rows_[r][c]);
+      }
+      out += ']';
+    }
+    out += "]}";
   }
   if (!metrics_json_.empty()) out += ",\"metrics\":" + metrics_json_;
   out += "}";

@@ -23,6 +23,9 @@
 //       {"iteration": 1, "residual": <f64>, "delta": <f64>,
 //        "seconds": <f64>}, ...
 //     ],
+//     "table": {             // present once set_table() was called
+//       "headers": ["<col>", ...], "rows": [["<cell>", ...], ...]
+//     },
 //     "metrics": {...}       // present once capture_metrics() was
 //   }                        // called; see MetricsRegistry::snapshot_json
 #pragma once
@@ -69,6 +72,13 @@ class RunReport {
   /// Embeds a point-in-time snapshot of the global metrics registry.
   void capture_metrics();
 
+  /// Attaches a result table (string cells, e.g. a bench TextTable's
+  /// raw headers/rows) — serialized as {"headers": [...], "rows":
+  /// [[...], ...]}. Numeric-looking cells stay strings; the formatting
+  /// the table printed is the record.
+  void set_table(std::vector<std::string> headers,
+                 std::vector<std::vector<std::string>> rows);
+
   struct Stage {
     std::string stage;
     f64 seconds = 0.0;
@@ -88,6 +98,9 @@ class RunReport {
   SolverRun solver_;
   bool has_trace_ = false;
   std::vector<IterationRecord> trace_;
+  bool has_table_ = false;
+  std::vector<std::string> table_headers_;
+  std::vector<std::vector<std::string>> table_rows_;
   std::string metrics_json_;  // empty until capture_metrics()
 };
 

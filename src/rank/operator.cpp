@@ -102,12 +102,14 @@ f64 ThrottledView::pull_off_diagonal(NodeId v, std::span<const f64> x) const {
   return acc;
 }
 
-OperatorRow ThrottledView::row(NodeId u, std::vector<NodeId>& cols_scratch,
-                               std::vector<f64>& weights_scratch) const {
-  const auto cs = base_->row_cols(u);
-  const auto ws = base_->row_weights(u);
-  const f64 scale = plan_.off_scale[u];
-  const f64 diag = plan_.diagonal[u];
+OperatorRow throttled_row(const StochasticMatrix& base,
+                          const RowAffinePlan& plan, NodeId u,
+                          std::vector<NodeId>& cols_scratch,
+                          std::vector<f64>& weights_scratch) {
+  const auto cs = base.row_cols(u);
+  const auto ws = base.row_weights(u);
+  const f64 scale = plan.off_scale[u];
+  const f64 diag = plan.diagonal[u];
 
   bool has_self = false;
   for (const NodeId c : cs)
@@ -146,6 +148,11 @@ OperatorRow ThrottledView::row(NodeId u, std::vector<NodeId>& cols_scratch,
     weights_scratch.push_back(diag);
   }
   return {cols_scratch, weights_scratch};
+}
+
+OperatorRow ThrottledView::row(NodeId u, std::vector<NodeId>& cols_scratch,
+                               std::vector<f64>& weights_scratch) const {
+  return throttled_row(*base_, plan_, u, cols_scratch, weights_scratch);
 }
 
 }  // namespace srsr::rank

@@ -92,6 +92,16 @@ class TransitionOperator {
   virtual u64 memory_bytes() const = 0;
 };
 
+/// Forward row u of the plan applied to `base` — off-diagonal entries
+/// scaled by off_scale[u], the diagonal overridden (spliced into the
+/// sorted column list when the base pattern has no self entry). Shared
+/// by ThrottledView::row and ShardedOperator::row so the two forward
+/// views can never drift apart.
+OperatorRow throttled_row(const StochasticMatrix& base,
+                          const RowAffinePlan& plan, NodeId u,
+                          std::vector<NodeId>& cols_scratch,
+                          std::vector<f64>& weights_scratch);
+
 /// Today's behavior, factored out: wraps a materialized matrix and
 /// transposes it once at construction. The wrapped matrix must outlive
 /// the operator.

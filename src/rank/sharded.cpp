@@ -1,0 +1,286 @@
+#include "rank/sharded.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+
+namespace srsr::rank {
+
+ShardedMatrix::ShardedMatrix(const StochasticMatrix& base,
+                             graph::ShardPlan plan)
+    : plan_(std::move(plan)), num_entries_(base.num_entries()) {
+  const NodeId n = base.num_rows();
+  SRSR_CHECK(plan_.num_nodes() == n, "ShardedMatrix: plan covers ",
+             plan_.num_nodes(), " nodes, matrix has ", n, " rows");
+  const u32 k = plan_.num_shards();
+
+  // Pass A: count intra-shard entries per forward local row and
+  // boundary entries per local destination row; collect each shard's
+  // external source set.
+  std::vector<std::vector<u64>> fwd_counts(k), bnd_counts(k);
+  std::vector<std::vector<NodeId>> halo_sources(k);
+  for (u32 s = 0; s < k; ++s) {
+    fwd_counts[s].assign(plan_.shard_size(s), 0);
+    bnd_counts[s].assign(plan_.shard_size(s), 0);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    const u32 su = plan_.shard_of(u);
+    for (const NodeId c : base.row_cols(u)) {
+      const u32 sc = plan_.shard_of(c);
+      if (sc == su) {
+        ++fwd_counts[su][plan_.local_of(u)];
+      } else {
+        ++bnd_counts[sc][plan_.local_of(c)];
+        halo_sources[sc].push_back(u);
+        ++boundary_entries_;
+      }
+    }
+  }
+
+  // Halo slot assignment: sorted unique external sources, so slot
+  // order (and with it every boundary FP accumulation) is a pure
+  // function of the plan, not of edge discovery order.
+  boundary_.resize(k);
+  for (u32 s = 0; s < k; ++s) {
+    auto& ids = halo_sources[s];
+    std::sort(ids.begin(), ids.end());
+    ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+    BoundaryBlock& b = boundary_[s];
+    b.halo_ids_ = ids;
+    b.halo_owner_shard_.reserve(ids.size());
+    b.halo_owner_local_.reserve(ids.size());
+    for (const NodeId u : ids) {
+      b.halo_owner_shard_.push_back(plan_.shard_of(u));
+      b.halo_owner_local_.push_back(plan_.local_of(u));
+    }
+    b.offsets_.assign(plan_.shard_size(s) + 1, 0);
+    for (NodeId r = 0; r < plan_.shard_size(s); ++r)
+      b.offsets_[r + 1] = b.offsets_[r] + bnd_counts[s][r];
+    b.slots_.resize(b.offsets_.back());
+    b.weights_.resize(b.offsets_.back());
+  }
+
+  // Pass B: fill. Walking origins in ascending global id makes every
+  // transposed row — local and boundary alike — enumerate its sources
+  // in the same relative order as the monolithic transpose.
+  std::vector<std::vector<u64>> fwd_offsets(k);
+  std::vector<std::vector<NodeId>> fwd_cols(k);
+  std::vector<std::vector<f64>> fwd_weights(k);
+  std::vector<std::vector<u64>> fwd_cursor(k), bnd_cursor(k);
+  for (u32 s = 0; s < k; ++s) {
+    const NodeId rows = plan_.shard_size(s);
+    fwd_offsets[s].assign(rows + 1, 0);
+    for (NodeId r = 0; r < rows; ++r)
+      fwd_offsets[s][r + 1] = fwd_offsets[s][r] + fwd_counts[s][r];
+    fwd_cols[s].resize(fwd_offsets[s].back());
+    fwd_weights[s].resize(fwd_offsets[s].back());
+    fwd_cursor[s].assign(fwd_offsets[s].begin(), fwd_offsets[s].end() - 1);
+    bnd_cursor[s].assign(boundary_[s].offsets_.begin(),
+                         boundary_[s].offsets_.end() - 1);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    const u32 su = plan_.shard_of(u);
+    const auto cs = base.row_cols(u);
+    const auto ws = base.row_weights(u);
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      const NodeId c = cs[i];
+      const u32 sc = plan_.shard_of(c);
+      if (sc == su) {
+        const u64 at = fwd_cursor[su][plan_.local_of(u)]++;
+        fwd_cols[su][at] = plan_.local_of(c);
+        fwd_weights[su][at] = ws[i];
+      } else {
+        BoundaryBlock& b = boundary_[sc];
+        const u64 at = bnd_cursor[sc][plan_.local_of(c)]++;
+        const auto it =
+            std::lower_bound(b.halo_ids_.begin(), b.halo_ids_.end(), u);
+        b.slots_[at] = static_cast<u32>(it - b.halo_ids_.begin());
+        b.weights_[at] = ws[i];
+      }
+    }
+  }
+
+  // Forward local blocks are sub-rows of (sub)stochastic rows, so the
+  // validating public constructor applies; transposing them yields the
+  // pull blocks with the determinism ordering above.
+  local_forward_.reserve(k);
+  local_pull_.reserve(k);
+  for (u32 s = 0; s < k; ++s) {
+    local_forward_.emplace_back(std::move(fwd_offsets[s]),
+                                std::move(fwd_cols[s]),
+                                std::move(fwd_weights[s]));
+    local_pull_.push_back(local_forward_.back().transpose());
+  }
+}
+
+void ShardedMatrix::gather(std::span<const f64> global, u32 k,
+                           std::span<f64> local) const {
+  const auto m = plan_.members(k);
+  SRSR_CHECK(global.size() == plan_.num_nodes() && local.size() == m.size(),
+             "ShardedMatrix::gather: size mismatch");
+  for (std::size_t i = 0; i < m.size(); ++i) local[i] = global[m[i]];
+}
+
+void ShardedMatrix::scatter(u32 k, std::span<const f64> local,
+                            std::span<f64> global) const {
+  const auto m = plan_.members(k);
+  SRSR_CHECK(global.size() == plan_.num_nodes() && local.size() == m.size(),
+             "ShardedMatrix::scatter: size mismatch");
+  for (std::size_t i = 0; i < m.size(); ++i) global[m[i]] = local[i];
+}
+
+void ShardedMatrix::exchange_halo(u32 k,
+                                 const std::vector<std::vector<f64>>& shard_x,
+                                 std::span<f64> halo) const {
+  const BoundaryBlock& b = boundary_[k];
+  SRSR_CHECK(shard_x.size() == num_shards() && halo.size() == b.halo_size(),
+             "ShardedMatrix::exchange_halo: size mismatch");
+  for (u32 s = 0; s < b.halo_size(); ++s)
+    halo[s] = shard_x[b.halo_owner_shard_[s]][b.halo_owner_local_[s]];
+}
+
+u64 ShardedMatrix::memory_bytes() const {
+  u64 bytes = plan_.memory_bytes();
+  for (u32 s = 0; s < num_shards(); ++s)
+    bytes += local_forward_[s].memory_bytes() +
+             local_pull_[s].memory_bytes() + boundary_[s].memory_bytes();
+  return bytes;
+}
+
+ShardedOperator::ShardedOperator(const StochasticMatrix& base,
+                                 const ShardedMatrix& matrix,
+                                 RowAffinePlan plan)
+    : base_(&base), matrix_(&matrix) {
+  SRSR_CHECK(base.num_rows() == matrix.num_rows(),
+             "ShardedOperator: base matrix has ", base.num_rows(),
+             " rows, sharded matrix covers ", matrix.num_rows());
+  const u32 k = matrix.num_shards();
+  off_scale_local_.resize(k);
+  diagonal_local_.resize(k);
+  deficit_local_.resize(k);
+  off_scale_halo_.resize(k);
+  reset_plan(std::move(plan));
+}
+
+void ShardedOperator::reset_plan(RowAffinePlan plan) {
+  // Same always-on contract as ThrottledView::reset_plan: a bad plan
+  // entry would silently corrupt every shard of the sweep.
+  validate_plan(plan, matrix_->num_rows(), 1e-9,
+                "ShardedOperator::reset_plan");
+  plan_ = std::move(plan);
+  const auto& p = matrix_->plan();
+  for (u32 s = 0; s < matrix_->num_shards(); ++s) {
+    const auto m = p.members(s);
+    off_scale_local_[s].resize(m.size());
+    diagonal_local_[s].resize(m.size());
+    deficit_local_[s].resize(m.size());
+    for (std::size_t i = 0; i < m.size(); ++i) {
+      off_scale_local_[s][i] = plan_.off_scale[m[i]];
+      diagonal_local_[s][i] = plan_.diagonal[m[i]];
+      deficit_local_[s][i] = plan_.deficit[m[i]];
+    }
+    const auto halo = matrix_->boundary(s).halo_ids();
+    off_scale_halo_[s].resize(halo.size());
+    for (std::size_t i = 0; i < halo.size(); ++i)
+      off_scale_halo_[s][i] = plan_.off_scale[halo[i]];
+  }
+}
+
+void ShardedOperator::pull_shard(u32 k, std::span<const f64> x_local,
+                                 std::span<const f64> x_halo,
+                                 std::span<f64> y_local) const {
+  const StochasticMatrix& pull = matrix_->local_pull(k);
+  const BoundaryBlock& bnd = matrix_->boundary(k);
+  const NodeId rows = pull.num_rows();
+  SRSR_CHECK(x_local.size() == rows && y_local.size() == rows &&
+                 x_halo.size() == bnd.halo_size(),
+             "ShardedOperator::pull_shard: size mismatch");
+  const f64* const scale = off_scale_local_[k].data();
+  const f64* const diag = diagonal_local_[k].data();
+  const f64* const scale_h = off_scale_halo_[k].data();
+  parallel_for(0, rows, [&](std::size_t v) {
+    // Intra-shard part: the exact FP sequence of ThrottledView::pull
+    // restricted to the shard (which IS the whole sequence when K=1).
+    const auto cs = pull.row_cols(static_cast<NodeId>(v));
+    const auto ws = pull.row_weights(static_cast<NodeId>(v));
+    f64 acc = 0.0;
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      const NodeId u = cs[i];
+      if (u != static_cast<NodeId>(v)) acc += x_local[u] * scale[u] * ws[i];
+    }
+    // Boundary part: mass arriving from other shards through the halo.
+    // Slots ascend in global source id, so this accumulation order is
+    // deterministic for a fixed plan.
+    for (u64 e = bnd.offsets_[v]; e < bnd.offsets_[v + 1]; ++e) {
+      const u32 s = bnd.slots_[e];
+      acc += x_halo[s] * scale_h[s] * bnd.weights_[e];
+    }
+    y_local[v] = acc + x_local[v] * diag[v];
+  });
+}
+
+void ShardedOperator::pull(std::span<const f64> x, std::span<f64> y) const {
+  const NodeId n = num_rows();
+  SRSR_CHECK(x.size() == n && y.size() == n,
+             "ShardedOperator::pull: size mismatch");
+  // Compatibility path (the monolithic solvers accept this operator
+  // unchanged): gather every shard, exchange halos, run the per-shard
+  // kernels, scatter back. The block solvers keep these buffers alive
+  // across iterations instead of reallocating per pull.
+  const u32 k = matrix_->num_shards();
+  std::vector<std::vector<f64>> x_local(k), y_local(k);
+  for (u32 s = 0; s < k; ++s) {
+    x_local[s].resize(matrix_->shard_rows(s));
+    y_local[s].resize(matrix_->shard_rows(s));
+    matrix_->gather(x, s, x_local[s]);
+  }
+  std::vector<f64> halo;
+  for (u32 s = 0; s < k; ++s) {
+    halo.resize(matrix_->boundary(s).halo_size());
+    matrix_->exchange_halo(s, x_local, halo);
+    pull_shard(s, x_local[s], halo, y_local[s]);
+    matrix_->scatter(s, y_local[s], y);
+  }
+}
+
+f64 ShardedOperator::pull_off_diagonal(NodeId v, std::span<const f64> x) const {
+  const u32 k = matrix_->plan().shard_of(v);
+  const NodeId lv = matrix_->plan().local_of(v);
+  const auto m = matrix_->plan().members(k);
+  const StochasticMatrix& pull = matrix_->local_pull(k);
+  const BoundaryBlock& bnd = matrix_->boundary(k);
+  const auto cs = pull.row_cols(lv);
+  const auto ws = pull.row_weights(lv);
+  const f64* const scale = off_scale_local_[k].data();
+  const f64* const scale_h = off_scale_halo_[k].data();
+  f64 acc = 0.0;
+  for (std::size_t i = 0; i < cs.size(); ++i) {
+    const NodeId u = cs[i];
+    if (u != lv) acc += x[m[u]] * scale[u] * ws[i];
+  }
+  for (u64 e = bnd.offsets_[lv]; e < bnd.offsets_[lv + 1]; ++e) {
+    const u32 s = bnd.slots_[e];
+    acc += x[bnd.halo_ids_[s]] * scale_h[s] * bnd.weights_[e];
+  }
+  return acc;
+}
+
+OperatorRow ShardedOperator::row(NodeId u, std::vector<NodeId>& cols_scratch,
+                                 std::vector<f64>& weights_scratch) const {
+  return throttled_row(*base_, plan_, u, cols_scratch, weights_scratch);
+}
+
+u64 ShardedOperator::memory_bytes() const {
+  u64 bytes = (plan_.off_scale.size() + plan_.diagonal.size() +
+               plan_.deficit.size()) *
+              sizeof(f64);
+  for (u32 s = 0; s < matrix_->num_shards(); ++s)
+    bytes += (off_scale_local_[s].size() + diagonal_local_[s].size() +
+              deficit_local_[s].size() + off_scale_halo_[s].size()) *
+             sizeof(f64);
+  return bytes;
+}
+
+}  // namespace srsr::rank

@@ -1,0 +1,183 @@
+// Sharded form of the throttled transition operator.
+//
+// A ShardedMatrix splits one StochasticMatrix along a graph::ShardPlan
+// into K independent solve units. For each shard k it stores, in LOCAL
+// ids:
+//
+//   local block     — the intra-shard forward sub-matrix (a valid
+//                     sub-stochastic StochasticMatrix) plus its
+//                     transpose, which is what the per-shard pull
+//                     kernel iterates;
+//   boundary block  — the transposed cross-shard edges into k: CSR over
+//                     local destination rows whose columns are HALO
+//                     SLOTS, indices into that shard's sorted list of
+//                     external source nodes. Before a shard iterates,
+//                     the solver gathers the halo sources' current
+//                     scores into a dense halo vector (the explicit
+//                     boundary mass exchange — the only data that would
+//                     cross a process boundary in a multi-node
+//                     deployment).
+//
+// A ShardedOperator composes the per-shard blocks with a RowAffinePlan
+// (the same O(V) throttle plan a ThrottledView takes) into a full
+// TransitionOperator: global pull() gathers/scatters through the plan's
+// id maps, so the monolithic solvers run on it unchanged, while the
+// block solvers in rank/sharded_solve.hpp drive the per-shard kernels
+// directly.
+//
+// Determinism contract: members(k) ascending (the ShardPlan invariant)
+// and transpose() ordering entries by source row mean the K=1 sharded
+// operator performs the exact FP operation sequence of ThrottledView —
+// bit-identical pulls, and through them bit-identical solves. Halo
+// slots are likewise ordered by ascending global source id, so K>1
+// runs are deterministic for a fixed plan regardless of thread count.
+//
+// Raw boundary arrays never leave this layer: consumers go through
+// halo_ids()/pull_shard()/gather()/scatter() (srsr_lint rule
+// `shard-boundary`).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/partition.hpp"
+#include "rank/operator.hpp"
+#include "rank/stochastic.hpp"
+#include "util/common.hpp"
+
+namespace srsr::rank {
+
+/// Transposed cross-shard edges into one shard, plus the halo id maps.
+/// Only ShardedMatrix builds these; only the sharded pull kernels index
+/// the raw arrays.
+class BoundaryBlock {
+ public:
+  NodeId num_rows() const {
+    return static_cast<NodeId>(offsets_.size() - 1);
+  }
+  u64 num_entries() const { return offsets_.back(); }
+  /// External source nodes feeding this shard, ascending global id;
+  /// halo slot s corresponds to halo_ids()[s].
+  std::span<const NodeId> halo_ids() const { return halo_ids_; }
+  u32 halo_size() const { return static_cast<u32>(halo_ids_.size()); }
+  /// Owner coordinates of halo slot s (for the solver's halo gather).
+  u32 halo_owner_shard(u32 slot) const { return halo_owner_shard_[slot]; }
+  NodeId halo_owner_local(u32 slot) const { return halo_owner_local_[slot]; }
+
+  u64 memory_bytes() const {
+    return offsets_.size() * sizeof(u64) + slots_.size() * sizeof(u32) +
+           weights_.size() * sizeof(f64) + halo_ids_.size() * sizeof(NodeId) +
+           halo_owner_shard_.size() * sizeof(u32) +
+           halo_owner_local_.size() * sizeof(NodeId);
+  }
+
+ private:
+  friend class ShardedMatrix;
+  friend class ShardedOperator;
+
+  std::vector<u64> offsets_;   // per local destination row
+  std::vector<u32> slots_;     // halo slot per entry, ascending per row
+  std::vector<f64> weights_;   // base-matrix weight per entry
+  std::vector<NodeId> halo_ids_;          // slot -> global source id
+  std::vector<u32> halo_owner_shard_;     // slot -> owning shard
+  std::vector<NodeId> halo_owner_local_;  // slot -> local id in owner
+};
+
+class ShardedMatrix {
+ public:
+  ShardedMatrix() = default;
+
+  /// Splits `base` (forward orientation, rows = origins) along `plan`.
+  /// The plan is copied in; `base` is only read during construction.
+  ShardedMatrix(const StochasticMatrix& base, graph::ShardPlan plan);
+
+  const graph::ShardPlan& plan() const { return plan_; }
+  u32 num_shards() const { return plan_.num_shards(); }
+  NodeId num_rows() const { return plan_.num_nodes(); }
+  NodeId shard_rows(u32 k) const { return plan_.shard_size(k); }
+
+  /// Transposed intra-shard block of shard k (local ids): what the
+  /// per-shard pull kernel iterates.
+  const StochasticMatrix& local_pull(u32 k) const { return local_pull_[k]; }
+  /// Forward intra-shard block of shard k (local ids).
+  const StochasticMatrix& local_forward(u32 k) const {
+    return local_forward_[k];
+  }
+  const BoundaryBlock& boundary(u32 k) const { return boundary_[k]; }
+
+  u64 num_entries() const { return num_entries_; }
+  /// Total cross-shard entries (0 iff the partition cuts no edges).
+  u64 boundary_entries() const { return boundary_entries_; }
+
+  /// local[i] = global[members(k)[i]].
+  void gather(std::span<const f64> global, u32 k,
+              std::span<f64> local) const;
+  /// global[members(k)[i]] = local[i].
+  void scatter(u32 k, std::span<const f64> local,
+               std::span<f64> global) const;
+  /// Boundary mass exchange: halo[s] = shard_x[owner(s)][local(s)] for
+  /// every halo slot of shard k. `shard_x` holds every shard's current
+  /// local score vector.
+  void exchange_halo(u32 k, const std::vector<std::vector<f64>>& shard_x,
+                     std::span<f64> halo) const;
+
+  u64 memory_bytes() const;
+
+ private:
+  graph::ShardPlan plan_;
+  std::vector<StochasticMatrix> local_forward_;  // per shard, local ids
+  std::vector<StochasticMatrix> local_pull_;     // transpose of forward
+  std::vector<BoundaryBlock> boundary_;
+  u64 num_entries_ = 0;
+  u64 boundary_entries_ = 0;
+};
+
+/// The sharded throttle operator: per-shard blocks + one RowAffinePlan.
+/// `base` must be the matrix the ShardedMatrix was built from and must
+/// outlive the operator (same borrow contract as ThrottledView).
+class ShardedOperator final : public TransitionOperator {
+ public:
+  ShardedOperator(const StochasticMatrix& base, const ShardedMatrix& matrix,
+                  RowAffinePlan plan);
+
+  /// Swaps in the next kappa configuration's plan: O(V + halo) to
+  /// re-scatter the per-shard slices, no O(E) work.
+  void reset_plan(RowAffinePlan plan);
+
+  const RowAffinePlan& plan() const { return plan_; }
+  const ShardedMatrix& matrix() const { return *matrix_; }
+  u32 num_shards() const { return matrix_->num_shards(); }
+
+  NodeId num_rows() const override { return matrix_->num_rows(); }
+  u64 num_entries() const override { return matrix_->num_entries(); }
+  const std::vector<f64>& deficits() const override { return plan_.deficit; }
+  void pull(std::span<const f64> x, std::span<f64> y) const override;
+  f64 pull_off_diagonal(NodeId v, std::span<const f64> x) const override;
+  f64 diagonal(NodeId v) const override { return plan_.diagonal[v]; }
+  OperatorRow row(NodeId u, std::vector<NodeId>& cols_scratch,
+                  std::vector<f64>& weights_scratch) const override;
+  u64 memory_bytes() const override;
+
+  /// Per-shard pull in local ids: y_local = (T'')^T x restricted to
+  /// shard k, given the shard's local scores and its gathered halo
+  /// vector. The hot kernel of the block solvers.
+  void pull_shard(u32 k, std::span<const f64> x_local,
+                  std::span<const f64> x_halo, std::span<f64> y_local) const;
+
+  /// Plan slices in shard-local indexing.
+  std::span<const f64> local_diagonal(u32 k) const { return diagonal_local_[k]; }
+  std::span<const f64> local_deficit(u32 k) const { return deficit_local_[k]; }
+
+ private:
+  const StochasticMatrix* base_;
+  const ShardedMatrix* matrix_;
+  RowAffinePlan plan_;
+  // Plan vectors re-scattered into shard-local / halo-slot indexing so
+  // the per-shard kernels never touch global ids.
+  std::vector<std::vector<f64>> off_scale_local_;
+  std::vector<std::vector<f64>> diagonal_local_;
+  std::vector<std::vector<f64>> deficit_local_;
+  std::vector<std::vector<f64>> off_scale_halo_;
+};
+
+}  // namespace srsr::rank

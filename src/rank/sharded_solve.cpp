@@ -1,0 +1,317 @@
+#include "rank/sharded_solve.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "rank/solver_internal.hpp"
+#include "util/check.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace srsr::rank {
+
+namespace {
+
+/// Pre-combine residual partial over one shard, matching util/stats'
+/// serial loops term for term (L2 partial is the sum of squares; the
+/// sqrt happens at combine time).
+f64 norm_partial(Norm norm, std::span<const f64> a, std::span<const f64> b) {
+  f64 d = 0.0;
+  switch (norm) {
+    case Norm::kL1:
+      for (std::size_t i = 0; i < a.size(); ++i) d += std::abs(a[i] - b[i]);
+      return d;
+    case Norm::kLinf:
+      for (std::size_t i = 0; i < a.size(); ++i)
+        d = std::max(d, std::abs(a[i] - b[i]));
+      return d;
+    case Norm::kL2:
+    default:
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        const f64 diff = a[i] - b[i];
+        d += diff * diff;
+      }
+      return d;
+  }
+}
+
+/// Combines per-shard partials in ascending shard order. For K = 1 this
+/// reproduces the monolithic distance bit for bit.
+f64 norm_combine(Norm norm, std::span<const f64> parts,
+                 std::span<const u32> shards) {
+  f64 d = 0.0;
+  for (const u32 k : shards)
+    d = norm == Norm::kLinf ? std::max(d, parts[k]) : d + parts[k];
+  return norm == Norm::kL2 ? std::sqrt(d) : d;
+}
+
+/// One shard's partial viewed as a standalone norm (the deactivation
+/// test of incremental mode).
+f64 norm_of_partial(Norm norm, f64 part) {
+  return norm == Norm::kL2 ? std::sqrt(part) : part;
+}
+
+f64 linf_partial(std::span<const f64> a, std::span<const f64> b) {
+  f64 d = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    d = std::max(d, std::abs(a[i] - b[i]));
+  return d;
+}
+
+RankResult block_solve(const ShardedOperator& op,
+                       const ShardedSolveConfig& config,
+                       bool complete_deficits, const char* solver_name) {
+  SRSR_CHECK(std::isfinite(config.base.alpha) && config.base.alpha >= 0.0 &&
+                 config.base.alpha < 1.0,
+             "sharded solver: alpha = ", config.base.alpha,
+             ", must be in [0, 1)");
+  SRSR_CHECK(config.inner_iterations >= 1,
+             "sharded solver: inner_iterations must be >= 1");
+  // Literal-name contract of obs::Span (the ring stores the pointer).
+  obs::Span span(complete_deficits ? "rank.sharded_power.solve"
+                                   : "rank.sharded_jacobi.solve");
+  const ShardedMatrix& m = op.matrix();
+  const NodeId n = op.num_rows();
+  const u32 num_shards = m.num_shards();
+  SRSR_CHECK(config.dirty_shards.empty() ||
+                 config.dirty_shards.size() == num_shards,
+             "sharded solver: dirty mask has ", config.dirty_shards.size(),
+             " flags for ", num_shards, " shards");
+
+  ShardedSolveStats local_stats;
+  local_stats.updated.assign(num_shards, 0);
+  RankResult result;
+  if (n == 0) {
+    result.converged = true;
+    if (config.stats) *config.stats = std::move(local_stats);
+    return result;
+  }
+  WallTimer timer;
+
+  const std::vector<f64> teleport = internal::make_teleport(config.base, n);
+  const std::vector<f64> initial = internal::make_initial(config.base, n);
+  const f64 alpha = config.base.alpha;
+  const Norm norm = config.base.convergence.norm;
+  const f64 tolerance = config.base.convergence.tolerance;
+  const u32 inner = config.inner_iterations;
+  const bool incremental = !config.dirty_shards.empty();
+  const bool sweep = config.schedule == ShardSchedule::kAsyncSweep;
+  obs::IterationTrace* const trace = config.base.convergence.trace;
+
+  // Per-shard state, all in local ids. `x` is the committed score of
+  // each shard (what halo exchanges read); updates land in `next` and
+  // commit by swap — after every shard of a synchronous round for
+  // block-Jacobi, immediately for the asynchronous sweep.
+  std::vector<std::vector<f64>> x(num_shards), next(num_shards),
+      tmp(num_shards), tele(num_shards), halo(num_shards),
+      halo_ref(num_shards);
+  std::vector<f64> dpart(num_shards, 0.0), dpart_next(num_shards, 0.0);
+  std::vector<f64> resid_part(num_shards, 0.0), delta_part(num_shards, 0.0);
+  std::vector<u8> active(num_shards, 0);
+  for (u32 k = 0; k < num_shards; ++k) {
+    const NodeId rows = m.shard_rows(k);
+    x[k].resize(rows);
+    next[k].resize(rows);
+    if (inner > 1) tmp[k].resize(rows);
+    tele[k].resize(rows);
+    halo[k].resize(m.boundary(k).halo_size());
+    m.gather(initial, k, x[k]);
+    m.gather(teleport, k, tele[k]);
+    if (complete_deficits) {
+      const auto def = op.local_deficit(k);
+      dpart[k] = parallel_sum_deterministic(
+          0, rows, [&](std::size_t r) { return x[k][r] * def[r]; });
+    }
+    active[k] = rows > 0 && (!incremental || config.dirty_shards[k] != 0);
+    if (active[k]) ++local_stats.dirty_shards;
+  }
+  if (incremental) {
+    // Baseline halo snapshot: a clean shard wakes only once its
+    // boundary inputs move past the activation tolerance. A second
+    // pass, since exchange_halo reads OTHER shards' x vectors — they
+    // must all be gathered first.
+    for (u32 k = 0; k < num_shards; ++k) {
+      halo_ref[k].resize(halo[k].size());
+      m.exchange_halo(k, x, halo_ref[k]);
+    }
+  }
+
+  // One shard's round work: gather the halo, run `inner` pull+affine
+  // iterations against it, leave the result in next[k] and the round
+  // partials in the per-shard slots. Writes only shard-k state — safe
+  // for a parallel executor within a synchronous round.
+  const auto update_shard = [&](u32 k, f64 deficit_ext) {
+    m.exchange_halo(k, x, halo[k]);
+    const NodeId rows = m.shard_rows(k);
+    const auto def = op.local_deficit(k);
+    const auto& t = tele[k];
+    f64 deficit_local = dpart[k];
+    std::span<const f64> src = x[k];
+    for (u32 j = 0; j < inner; ++j) {
+      // deficit_mass stays 0.0 on the Jacobi route — the expression
+      // matches solvers.cpp's affine update bit for bit either way.
+      const f64 deficit_mass =
+          complete_deficits ? deficit_ext + deficit_local : 0.0;
+      std::vector<f64>& dst = (j % 2 == 0) ? next[k] : tmp[k];
+      op.pull_shard(k, src, halo[k], dst);
+      parallel_for(0, rows, [&](std::size_t v) {
+        dst[v] = alpha * (dst[v] + deficit_mass * t[v]) +
+                 (1.0 - alpha) * t[v];
+      });
+      if (complete_deficits && j + 1 < inner)
+        deficit_local = parallel_sum_deterministic(
+            0, rows, [&](std::size_t r) { return dst[r] * def[r]; });
+      src = dst;
+    }
+    if (inner % 2 == 0) next[k].swap(tmp[k]);  // land the result in next
+    resid_part[k] = norm_partial(norm, x[k], next[k]);
+    if (trace) delta_part[k] = linf_partial(x[k], next[k]);
+    if (complete_deficits)
+      dpart_next[k] = parallel_sum_deterministic(
+          0, rows, [&](std::size_t r) { return next[k][r] * def[r]; });
+    if (incremental) halo_ref[k].swap(halo[k]);  // halo this update saw
+  };
+
+  std::vector<u32> round_list;
+  std::vector<f64> fresh_halo;
+  f64 first_residual = 0.0;
+
+  for (u32 round = 0; round < config.base.convergence.max_iterations;
+       ++round) {
+    round_list.clear();
+    for (u32 k = 0; k < num_shards; ++k)
+      if (active[k]) round_list.push_back(k);
+    if (round_list.empty()) {
+      // Incremental quiescence: every shard locally converged with
+      // quiet halos (trivially true when nothing was dirty).
+      result.converged = true;
+      break;
+    }
+
+    if (!sweep) {
+      // Synchronous round: the global deficit is a pure function of
+      // the round-start scores, shared by every shard.
+      f64 deficit_total = 0.0;
+      if (complete_deficits)
+        for (u32 k = 0; k < num_shards; ++k) deficit_total += dpart[k];
+      const auto task = [&](u32 i) {
+        const u32 k = round_list[i];
+        update_shard(k, deficit_total - dpart[k]);
+      };
+      if (config.executor) {
+        config.executor->run(static_cast<u32>(round_list.size()), task);
+      } else {
+        for (u32 i = 0; i < round_list.size(); ++i) task(i);
+      }
+      for (const u32 k : round_list) {
+        x[k].swap(next[k]);
+        dpart[k] = dpart_next[k];
+      }
+    } else {
+      // Asynchronous sweep: ascending shard order, freshest scores and
+      // deficit partials at every step.
+      for (const u32 k : round_list) {
+        f64 deficit_total = 0.0;
+        if (complete_deficits)
+          for (u32 kk = 0; kk < num_shards; ++kk)
+            deficit_total += dpart[kk];
+        update_shard(k, deficit_total - dpart[k]);
+        x[k].swap(next[k]);
+        dpart[k] = dpart_next[k];
+      }
+    }
+
+    result.iterations = round + 1;
+    result.residual = norm_combine(norm, resid_part, round_list);
+    if (round == 0) first_residual = result.residual;
+    if (trace) {
+      f64 delta = 0.0;
+      for (const u32 k : round_list) delta = std::max(delta, delta_part[k]);
+      trace->on_iteration(
+          {round + 1, result.residual, delta, timer.seconds()});
+    }
+    local_stats.rounds = round + 1;
+    local_stats.shard_updates += round_list.size();
+    for (const u32 k : round_list) {
+      local_stats.updated[k] = 1;
+      local_stats.halo_slots_exchanged += m.boundary(k).halo_size();
+    }
+
+    if (incremental) {
+      for (const u32 k : round_list)
+        active[k] = norm_of_partial(norm, resid_part[k]) >= tolerance;
+      // Wake any shard whose boundary inputs moved past the activation
+      // tolerance since the halo snapshot its last update (or the warm
+      // start) saw.
+      for (u32 k = 0; k < num_shards; ++k) {
+        if (active[k] || m.shard_rows(k) == 0) continue;
+        const u32 slots = m.boundary(k).halo_size();
+        if (slots == 0) continue;
+        fresh_halo.resize(slots);
+        m.exchange_halo(k, x, fresh_halo);
+        for (u32 s = 0; s < slots; ++s) {
+          if (std::abs(fresh_halo[s] - halo_ref[k][s]) >
+              config.activation_tolerance) {
+            active[k] = 1;
+            break;
+          }
+        }
+      }
+    }
+    if (result.residual < tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+
+  // Assemble and normalize exactly as the monolithic driver does:
+  // scatter to global ids, then one serial global L1 pass.
+  std::vector<f64> sigma(n, 0.0);
+  for (u32 k = 0; k < num_shards; ++k) m.scatter(k, x[k], sigma);
+  f64 sum = 0.0;
+  for (const f64 v : sigma) sum += v;
+  if (sum > 0.0)
+    for (f64& v : sigma) v /= sum;
+  result.scores = std::move(sigma);
+  SRSR_DEBUG_VALIDATE(validate_probability_vector(result.scores, 1e-6,
+                                                  "sharded solver output"));
+  result.seconds = timer.seconds();
+  result.trace = obs::make_trace_summary(result.iterations, first_residual,
+                                         result.residual);
+
+  for (u32 k = 0; k < num_shards; ++k)
+    if (local_stats.updated[k]) ++local_stats.activated_shards;
+  if (obs::metrics_enabled()) {
+    const std::string prefix = std::string("srsr.rank.") + solver_name;
+    auto& reg = obs::MetricsRegistry::instance();
+    reg.counter(prefix + ".solves").add();
+    reg.counter(prefix + ".rounds").add(local_stats.rounds);
+    reg.counter(prefix + ".shard_updates").add(local_stats.shard_updates);
+    reg.histogram(prefix + ".seconds").observe(result.seconds);
+  }
+  if (config.stats) *config.stats = std::move(local_stats);
+  return result;
+}
+
+}  // namespace
+
+const char* shard_schedule_name(ShardSchedule schedule) {
+  return schedule == ShardSchedule::kBlockJacobi ? "block_jacobi"
+                                                 : "async_sweep";
+}
+
+RankResult sharded_power_solve(const ShardedOperator& op,
+                               const ShardedSolveConfig& config) {
+  return block_solve(op, config, /*complete_deficits=*/true,
+                     "sharded_power");
+}
+
+RankResult sharded_jacobi_solve(const ShardedOperator& op,
+                                const ShardedSolveConfig& config) {
+  return block_solve(op, config, /*complete_deficits=*/false,
+                     "sharded_jacobi");
+}
+
+}  // namespace srsr::rank

@@ -1,0 +1,114 @@
+// Block solvers over a ShardedOperator.
+//
+// Two schedules around the same per-shard kernel (pull_shard + the
+// affine teleport update, i.e. the monolithic power/Jacobi iteration
+// restricted to one shard):
+//
+//   kBlockJacobi  — synchronous rounds: every active shard iterates
+//                   against the OTHER shards' round-start scores (halo
+//                   vectors frozen per round), then all shards commit
+//                   at a barrier. Shards are independent within a
+//                   round, so a ShardExecutor can run them on real
+//                   threads; results do not depend on the executor
+//                   (disjoint state, deterministic per-shard kernels).
+//                   With inner_iterations = 1 this IS global power/
+//                   Jacobi iteration re-grouped by shard — and with
+//                   K = 1 it is bit-identical to rank/solvers.cpp
+//                   (same FP sequence, same iteration count).
+//   kAsyncSweep   — block Gauss-Seidel: shards update sequentially in
+//                   ascending shard id, each seeing the freshest
+//                   scores of every predecessor. Under an SCC-aware
+//                   plan ascending shard id is a topological order of
+//                   the condensation bands, so one sweep propagates
+//                   mass the full length of the DAG. Always serial
+//                   (the executor is ignored); deterministic.
+//
+// Deficit mass (power route) stays bitwise deterministic: each shard
+// contributes a parallel_sum_deterministic partial over its local
+// rows, and partials combine in ascending shard order. Residuals
+// combine the same way (per-shard serial partials in the configured
+// norm, combined ascending), which for K = 1 reproduces util/stats'
+// serial distance loops exactly.
+//
+// Dirty-shard solves: a non-empty `dirty_shards` mask switches to
+// incremental mode. Clean shards start frozen at the warm start; a
+// shard activates only when it is dirty or a halo input moved by more
+// than activation_tolerance since its last update, and deactivates
+// once its own residual drops below tolerance with quiet halos. Work
+// is then O(affected shards x rounds), not O(K x rounds). The
+// converged fixed point matches the full solve up to the activation
+// tolerance per boundary hop (exact propagation at 0.0); termination
+// with every shard quiet bounds the global residual by sqrt(K) x
+// tolerance in L2 (sum in L1).
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "rank/result.hpp"
+#include "rank/sharded.hpp"
+#include "rank/solvers.hpp"
+#include "util/common.hpp"
+
+namespace srsr::rank {
+
+enum class ShardSchedule {
+  kBlockJacobi,  // synchronous rounds, executor-parallel
+  kAsyncSweep,   // sequential ascending sweep, freshest values
+};
+
+/// Human-readable schedule name ("block_jacobi" | "async_sweep").
+const char* shard_schedule_name(ShardSchedule schedule);
+
+/// Runs `tasks` independent shard updates, possibly concurrently; must
+/// not return before every task completed. Tasks write disjoint shard
+/// state, so any faithful executor yields identical results. The serve
+/// layer's ShardWorkerPool implements this over real threads; solvers
+/// fall back to a serial loop when none is given.
+class ShardExecutor {
+ public:
+  virtual ~ShardExecutor() = default;
+  virtual void run(u32 tasks, const std::function<void(u32)>& fn) = 0;
+};
+
+struct ShardedSolveStats {
+  u32 rounds = 0;
+  /// Per-shard inner solves executed — the O(affected shards) claim of
+  /// incremental mode is `shard_updates`, not rounds x K.
+  u64 shard_updates = 0;
+  u32 dirty_shards = 0;     // shards dirty at entry
+  u32 activated_shards = 0; // shards that executed at least one update
+  u64 halo_slots_exchanged = 0;
+  /// Flag per shard: 1 iff the solve re-iterated it (the serve layer
+  /// advances per-shard epochs from this).
+  std::vector<u8> updated;
+};
+
+struct ShardedSolveConfig {
+  SolverConfig base;
+  ShardSchedule schedule = ShardSchedule::kBlockJacobi;
+  /// Inner iterations per shard per round against frozen halos. 1 =
+  /// plain global iteration; >1 trades boundary exchanges for local
+  /// work (worth it when boundary_entries() is small).
+  u32 inner_iterations = 1;
+  /// Empty = full solve (every shard active until global convergence).
+  /// Otherwise one flag per shard; see the incremental-mode contract
+  /// in the file comment.
+  std::span<const u8> dirty_shards = {};
+  f64 activation_tolerance = 0.0;
+  /// Optional parallel executor for kBlockJacobi rounds.
+  ShardExecutor* executor = nullptr;
+  /// Optional out-param for solve accounting.
+  ShardedSolveStats* stats = nullptr;
+};
+
+/// Power route: deficit mass re-routed to the teleport distribution.
+RankResult sharded_power_solve(const ShardedOperator& op,
+                               const ShardedSolveConfig& config);
+
+/// Jacobi route: deficit mass evaporates, final L1 normalization.
+RankResult sharded_jacobi_solve(const ShardedOperator& op,
+                                const ShardedSolveConfig& config);
+
+}  // namespace srsr::rank

@@ -1,0 +1,24 @@
+// Shared setup helpers for the iterative solver drivers (the monolithic
+// iterate() in solvers.cpp and the block drivers in sharded_solve.cpp).
+// Both must prepare teleport and initial vectors with the exact same FP
+// operations — the K=1 sharded solve is contractually bit-identical to
+// the monolithic one, and that starts here.
+#pragma once
+
+#include <vector>
+
+#include "rank/solvers.hpp"
+#include "util/common.hpp"
+
+namespace srsr::rank::internal {
+
+/// The teleport distribution c: uniform when the config has none,
+/// otherwise the configured vector validated and L1-normalized.
+std::vector<f64> make_teleport(const SolverConfig& config, NodeId n);
+
+/// The iteration's starting vector: uniform when the config has no
+/// initial, otherwise the configured (warm start) vector validated and
+/// L1-normalized.
+std::vector<f64> make_initial(const SolverConfig& config, NodeId n);
+
+}  // namespace srsr::rank::internal

@@ -48,6 +48,16 @@ void SloMonitor::on_publish() {
   last_publish_ns_.store(steady_now_ns(), std::memory_order_relaxed);
 }
 
+void SloMonitor::on_publish(f64 oldest_age_seconds) {
+  SRSR_CHECK(std::isfinite(oldest_age_seconds) && oldest_age_seconds >= 0.0,
+             "SloMonitor::on_publish: oldest age = ", oldest_age_seconds,
+             " seconds, must be finite and non-negative");
+  const u64 now = steady_now_ns();
+  const u64 age = static_cast<u64>(oldest_age_seconds * 1e9);
+  last_publish_ns_.store(age < now ? now - age : 0,
+                         std::memory_order_relaxed);
+}
+
 SloStatus SloMonitor::evaluate() {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::vector<u64> now(counts_.size());

@@ -24,6 +24,7 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "obs/report.hpp"
 #include "obs/span.hpp"
 #include "serve/monitor.hpp"
+#include "serve/shard_exec.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/store.hpp"
 #include "util/common.hpp"
@@ -51,6 +53,13 @@ struct RecomputeConfig {
   /// judges it against its predecessor.
   SloMonitor* slo = nullptr;
   DriftMonitor* drift = nullptr;
+  /// ShardWorkerPool threads for block-Jacobi rounds (sharded models
+  /// only; 0 = shard updates run inline on the recompute worker).
+  u32 shard_workers = 0;
+  /// Halo-activation tolerance for dirty-shard solves; negative = use
+  /// the model's convergence tolerance (exact propagation at 0.0 costs
+  /// the most work — see rank/sharded_solve.hpp).
+  f64 shard_activation_tolerance = -1.0;
 };
 
 class RecomputePipeline {
@@ -89,8 +98,25 @@ class RecomputePipeline {
     u64 coalesced = 0;
     u64 last_epoch = 0;        // 0 = nothing published yet
     std::string last_error;    // empty = no failure so far
+    /// Sharded models only: the last publish's solve footprint. A
+    /// kappa change contained in a few shards shows dirty counts and
+    /// update totals far below num_shards x rounds — the O(changed
+    /// shards) contract of the dirty-shard path.
+    u32 last_dirty_shards = 0;
+    u64 last_shard_updates = 0;
+    u32 last_rounds = 0;
   };
   Stats stats() const;
+
+  /// Per-shard freshness (sharded models only; empty otherwise).
+  struct ShardStatus {
+    u32 shard = 0;
+    u64 epoch = 0;  // last epoch whose solve re-iterated this shard
+    f64 staleness_seconds = 0.0;  // age of that refresh (or of the
+                                  // pipeline, before any publish)
+    bool dirty_last = false;      // dirty entering the last solve
+  };
+  std::vector<ShardStatus> shard_status() const;
 
   /// Writes the pipeline outcome into a run report ("serve.published",
   /// "serve.failed", "serve.coalesced", "serve.last_epoch", and
@@ -112,13 +138,31 @@ class RecomputePipeline {
 
   void worker_loop();
   void solve_and_publish(const Update& update);
+  /// Diffs `kappa` against the policy of the live sigma and returns a
+  /// per-shard dirty mask, or an empty vector when a full solve is
+  /// required (first publish, cold start, size change). Worker only.
+  std::vector<u8> dirty_mask(std::span<const f64> kappa,
+                             bool warm) const;
 
   const core::SpamResilientSourceRank* model_;
   std::vector<std::string> hosts_;
   SnapshotStore* store_;
   RecomputeConfig config_;
+  /// Engaged for sharded models with shard_workers > 0; handed to
+  /// every sharded solve.
+  std::optional<ShardWorkerPool> pool_;
+  /// The kappa whose sigma is live (worker thread only; the dirty
+  /// mask of the next solve is a diff against it).
+  std::vector<f64> applied_kappa_;
+  u64 init_ns_ = 0;  // pipeline construction, steady clock
 
   mutable std::mutex mutex_;
+  /// Per-shard freshness, advanced on publish for shards the solve
+  /// re-iterated (guarded by mutex_; sized num_shards for sharded
+  /// models, empty otherwise).
+  std::vector<u64> shard_epochs_;
+  std::vector<u64> shard_refresh_ns_;
+  std::vector<u8> shard_dirty_last_;
   std::condition_variable wake_;   // worker: queue non-empty or stopping
   std::condition_variable idle_;   // drain(): queue empty and not busy
   std::deque<Update> queue_;
@@ -126,7 +170,7 @@ class RecomputePipeline {
   bool stop_ = false;
   Stats stats_;
 
-  std::thread worker_;  // last member: starts after state is ready
+  std::thread worker_;  // started at the end of the constructor body
 };
 
 }  // namespace srsr::serve

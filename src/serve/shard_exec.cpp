@@ -1,0 +1,104 @@
+#include "serve/shard_exec.hpp"
+
+#include "util/check.hpp"
+
+namespace srsr::serve {
+
+namespace {
+
+u64 claim_tag(u64 generation) { return (generation & 0xffffffffull) << 32; }
+
+}  // namespace
+
+ShardWorkerPool::ShardWorkerPool(u32 workers) {
+  SRSR_CHECK(workers <= 256, "ShardWorkerPool: ", workers,
+             " workers requested, limit is 256");
+  threads_.reserve(workers);
+  for (u32 i = 0; i < workers; ++i)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+ShardWorkerPool::~ShardWorkerPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+u32 ShardWorkerPool::claim_tasks(u64 generation, u32 tasks,
+                                 const std::function<void(u32)>* fn) {
+  const u64 tag = claim_tag(generation);
+  u32 completed = 0;
+  u64 state = claim_.load();
+  for (;;) {
+    // A mismatched tag means this thread slept through the whole round
+    // and the state now belongs to a newer one: claim nothing.
+    if ((state & ~0xffffffffull) != tag) break;
+    const u32 index = static_cast<u32>(state & 0xffffffffull);
+    if (index >= tasks) break;
+    if (claim_.compare_exchange_weak(state, state + 1)) {
+      (*fn)(index);
+      ++completed;
+      state = claim_.load();
+    }
+  }
+  return completed;
+}
+
+void ShardWorkerPool::run(u32 tasks, const std::function<void(u32)>& fn) {
+  if (tasks == 0) return;
+  if (threads_.empty()) {
+    for (u32 t = 0; t < tasks; ++t) fn(t);
+    return;
+  }
+  u64 generation = 0;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    generation = ++generation_;
+    tasks_ = tasks;
+    done_ = 0;
+    fn_ = &fn;
+    claim_.store(claim_tag(generation));
+  }
+  work_cv_.notify_all();
+  // The caller is a worker too: it claims tasks until the range is
+  // exhausted, then waits for stragglers still running theirs.
+  const u32 mine = claim_tasks(generation, tasks, &fn);
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_ += mine;
+  done_cv_.wait(lock, [this] { return done_ == tasks_; });
+}
+
+void ShardWorkerPool::worker_loop() {
+  u64 seen = 0;
+  for (;;) {
+    u64 generation = 0;
+    u32 tasks = 0;
+    const std::function<void(u32)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      generation = generation_;
+      tasks = tasks_;
+      fn = fn_;
+    }
+    // If run() already returned, every index is claimed and the loop
+    // exits without touching *fn — the (possibly dangling) pointer is
+    // only dereferenced behind a successful same-generation claim.
+    const u32 completed = claim_tasks(generation, tasks, fn);
+    if (completed == 0) continue;
+    bool all_done = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      done_ += completed;
+      all_done = done_ == tasks_;
+    }
+    if (all_done) done_cv_.notify_all();
+  }
+}
+
+}  // namespace srsr::serve

@@ -1,0 +1,76 @@
+// ShardWorkerPool — the serve layer's rank::ShardExecutor.
+//
+// A fixed crew of worker threads that the RecomputePipeline hands to
+// the block-Jacobi solver so the per-shard updates of one synchronous
+// round run concurrently. The solver's executor contract makes this
+// safe and boring: tasks within a round touch disjoint shard state and
+// every faithful executor yields bit-identical results, so the pool is
+// pure plumbing — claim task indices, run them, report done.
+//
+// run() is generation-based: the caller publishes (tasks, fn) under the
+// mutex, bumps the generation, and wakes the workers; everyone
+// (including the caller, so a pool is never slower than inline) claims
+// task indices off one shared counter and the caller waits until every
+// claimed task has been reported complete. The claim counter is
+// generation-tagged — (generation << 32) | next_index in one atomic —
+// so a worker that slept through a whole round can never claim an
+// index of the round that replaced it: its compare-exchange fails on
+// the generation bits and it goes back to sleep having done nothing.
+// One run() at a time — the solver calls it from a single thread, once
+// per round.
+//
+// This file is one of the few allowed to spawn std::threads (see
+// tools/lint/srsr_lint.py's thread rule).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "rank/sharded_solve.hpp"
+#include "util/common.hpp"
+
+namespace srsr::serve {
+
+class ShardWorkerPool final : public rank::ShardExecutor {
+ public:
+  /// `workers` = number of threads to spawn. 0 is valid and spawns
+  /// nothing: run() degenerates to the solver's inline serial loop.
+  explicit ShardWorkerPool(u32 workers);
+  ~ShardWorkerPool() override;
+
+  ShardWorkerPool(const ShardWorkerPool&) = delete;
+  ShardWorkerPool& operator=(const ShardWorkerPool&) = delete;
+
+  u32 workers() const { return static_cast<u32>(threads_.size()); }
+
+  /// Runs fn(0..tasks-1), possibly concurrently; returns once every
+  /// task completed. `fn` must not throw (a task that did would take
+  /// the process down via std::terminate on the worker thread).
+  void run(u32 tasks, const std::function<void(u32)>& fn) override;
+
+ private:
+  void worker_loop();
+  /// Claims and runs tasks while the claim state still carries
+  /// `generation`; returns how many tasks this thread completed.
+  u32 claim_tasks(u64 generation, u32 tasks,
+                  const std::function<void(u32)>* fn);
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: new generation / stopping
+  std::condition_variable done_cv_;  // run(): all tasks completed
+  u64 generation_ = 0;               // guarded by mutex_
+  u32 tasks_ = 0;                    // guarded by mutex_
+  u32 done_ = 0;                     // guarded by mutex_
+  const std::function<void(u32)>* fn_ = nullptr;  // guarded by mutex_
+  /// (generation << 32) | next unclaimed task index.
+  std::atomic<u64> claim_{0};
+  bool stop_ = false;  // guarded by mutex_
+
+  std::vector<std::thread> threads_;  // last member: started when ready
+};
+
+}  // namespace srsr::serve

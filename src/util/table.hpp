@@ -35,6 +35,10 @@ class TextTable {
 
   std::size_t row_count() const { return rows_.size(); }
 
+  /// Raw cells, for machine re-emission (e.g. obs::RunReport tables).
+  const std::vector<std::string>& headers() const { return headers_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
  private:
   std::vector<std::string> headers_;
   std::vector<std::vector<std::string>> rows_;

@@ -1,0 +1,212 @@
+// Tests for ShardPlan (graph/partition.hpp): invariants of both
+// partitioners, the SCC-aware acyclic-across-shards guarantee, and the
+// degenerate shapes the serve layer must survive (empty graph, one
+// giant SCC, fully disconnected nodes, K > V).
+#include "graph/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "graph/builder.hpp"
+#include "graph/generators.hpp"
+#include "util/rng.hpp"
+
+namespace srsr::graph {
+namespace {
+
+ShardPlan make_plan(const Graph& g, u32 shards, PartitionMode mode) {
+  PartitionConfig cfg;
+  cfg.num_shards = shards;
+  cfg.mode = mode;
+  return ShardPlan::build(g, cfg);
+}
+
+/// The class-comment invariants, checked from the outside: total
+/// coverage, ascending members, (shard_of, local_of) <-> members
+/// round-trips, sizes summing to the node count.
+void expect_valid_plan(const ShardPlan& plan, const Graph& g) {
+  ASSERT_EQ(plan.num_nodes(), g.num_nodes());
+  u64 total = 0;
+  for (u32 k = 0; k < plan.num_shards(); ++k) {
+    const auto members = plan.members(k);
+    ASSERT_EQ(members.size(), plan.shard_size(k));
+    total += members.size();
+    for (std::size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) {
+        EXPECT_LT(members[i - 1], members[i]);
+      }
+      EXPECT_EQ(plan.shard_of(members[i]), k);
+      EXPECT_EQ(plan.local_of(members[i]), static_cast<NodeId>(i));
+      EXPECT_EQ(plan.global_of(k, static_cast<NodeId>(i)), members[i]);
+    }
+  }
+  EXPECT_EQ(total, g.num_nodes());
+}
+
+TEST(ShardPlan, IdentityPlanIsOneEmptyShard) {
+  const ShardPlan plan;
+  EXPECT_EQ(plan.num_shards(), 1u);
+  EXPECT_EQ(plan.num_nodes(), 0u);
+  EXPECT_EQ(plan.shard_size(0), 0u);
+}
+
+TEST(ShardPlan, EmptyGraphBothModes) {
+  for (const auto mode : {PartitionMode::kHostHash, PartitionMode::kSccAware}) {
+    const ShardPlan plan = make_plan(Graph(), 4, mode);
+    EXPECT_EQ(plan.num_shards(), 4u);
+    EXPECT_EQ(plan.num_nodes(), 0u);
+    EXPECT_EQ(plan.num_nonempty_shards(), 0u);
+    for (u32 k = 0; k < 4; ++k) EXPECT_EQ(plan.shard_size(k), 0u);
+    expect_valid_plan(plan, Graph());
+  }
+}
+
+TEST(ShardPlan, MoreShardsThanNodes) {
+  const Graph g = path(3);
+  for (const auto mode : {PartitionMode::kHostHash, PartitionMode::kSccAware}) {
+    const ShardPlan plan = make_plan(g, 16, mode);
+    EXPECT_EQ(plan.num_shards(), 16u);
+    expect_valid_plan(plan, g);
+    // Every node landed somewhere; at most 3 shards can be non-empty.
+    EXPECT_LE(plan.num_nonempty_shards(), 3u);
+    EXPECT_GE(plan.num_nonempty_shards(), 1u);
+  }
+}
+
+TEST(ShardPlan, SingleGiantSccStaysWhole) {
+  // One SCC cannot straddle shards under kSccAware, so the entire cycle
+  // lands in one shard and the other shards stay empty — and no edge
+  // crosses a boundary.
+  const Graph g = cycle(50);
+  const ShardPlan plan = make_plan(g, 4, PartitionMode::kSccAware);
+  expect_valid_plan(plan, g);
+  EXPECT_EQ(plan.num_nonempty_shards(), 1u);
+  EXPECT_EQ(plan.count_boundary_edges(g), 0u);
+}
+
+TEST(ShardPlan, FullyDisconnectedSpreadsAcrossShards) {
+  const Graph g = GraphBuilder(100).build();  // isolated singleton SCCs
+  for (const auto mode : {PartitionMode::kHostHash, PartitionMode::kSccAware}) {
+    const ShardPlan plan = make_plan(g, 4, mode);
+    expect_valid_plan(plan, g);
+    EXPECT_EQ(plan.num_nonempty_shards(), 4u);
+    EXPECT_EQ(plan.count_boundary_edges(g), 0u);
+    // Rough balance: no shard hoards more than half the nodes.
+    for (u32 k = 0; k < 4; ++k) EXPECT_LE(plan.shard_size(k), 50u);
+  }
+}
+
+TEST(ShardPlan, SccAwareCrossShardEdgesPointForward) {
+  // The async-sweep precondition: under kSccAware every edge u->v has
+  // shard_of(u) <= shard_of(v), so one ascending pass over shards is a
+  // topological pass over the condensation.
+  Pcg32 rng(91);
+  const Graph g = erdos_renyi(200, 0.02, rng);
+  const ShardPlan plan = make_plan(g, 5, PartitionMode::kSccAware);
+  expect_valid_plan(plan, g);
+  for (NodeId u = 0; u < g.num_nodes(); ++u)
+    for (const NodeId v : g.out_neighbors(u))
+      EXPECT_LE(plan.shard_of(u), plan.shard_of(v))
+          << "edge " << u << "->" << v << " points backward";
+}
+
+TEST(ShardPlan, SccAwareBandsAreRoughlyBalanced) {
+  // 240 singleton SCCs in a path: the band cutter should hand each of
+  // the 4 shards about 60 nodes, never an empty or dominant band.
+  const Graph g = path(240);
+  const ShardPlan plan = make_plan(g, 4, PartitionMode::kSccAware);
+  for (u32 k = 0; k < 4; ++k) {
+    EXPECT_GE(plan.shard_size(k), 30u);
+    EXPECT_LE(plan.shard_size(k), 120u);
+  }
+}
+
+TEST(ShardPlan, HostHashMatchesDirectHashAssignment) {
+  // kHostHash must be a pure function of (node id, K) — the property a
+  // multi-process deployment relies on to route updates with no plan
+  // object in hand. Verified indirectly: two graphs of the same size
+  // produce identical assignments regardless of edges.
+  Pcg32 rng(92);
+  const Graph a = erdos_renyi(300, 0.01, rng);
+  const Graph b = path(300);
+  const ShardPlan pa = make_plan(a, 7, PartitionMode::kHostHash);
+  const ShardPlan pb = make_plan(b, 7, PartitionMode::kHostHash);
+  for (NodeId v = 0; v < 300; ++v)
+    EXPECT_EQ(pa.shard_of(v), pb.shard_of(v));
+}
+
+TEST(ShardPlan, BuildIsDeterministic) {
+  Pcg32 rng(93);
+  const Graph g = erdos_renyi(150, 0.03, rng);
+  for (const auto mode : {PartitionMode::kHostHash, PartitionMode::kSccAware}) {
+    const ShardPlan p1 = make_plan(g, 4, mode);
+    const ShardPlan p2 = make_plan(g, 4, mode);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      EXPECT_EQ(p1.shard_of(v), p2.shard_of(v));
+      EXPECT_EQ(p1.local_of(v), p2.local_of(v));
+    }
+  }
+}
+
+TEST(ShardPlan, CountBoundaryEdgesMatchesBruteForce) {
+  Pcg32 rng(94);
+  const Graph g = erdos_renyi(120, 0.05, rng);
+  for (const auto mode : {PartitionMode::kHostHash, PartitionMode::kSccAware}) {
+    const ShardPlan plan = make_plan(g, 3, mode);
+    u64 expected = 0;
+    for (NodeId u = 0; u < g.num_nodes(); ++u)
+      for (const NodeId v : g.out_neighbors(u))
+        if (plan.shard_of(u) != plan.shard_of(v)) ++expected;
+    EXPECT_EQ(plan.count_boundary_edges(g), expected);
+  }
+}
+
+TEST(ShardPlan, ShardSubgraphKeepsIntraShardEdgesOnly) {
+  GraphBuilder b(6);
+  b.add_edge(0, 1);  // intra if 0,1 co-sharded
+  b.add_edge(1, 2);
+  b.add_edge(2, 3);
+  b.add_edge(3, 4);
+  b.add_edge(4, 5);
+  const Graph g = b.build();
+  for (const auto mode : {PartitionMode::kHostHash, PartitionMode::kSccAware}) {
+    const ShardPlan plan = make_plan(g, 2, mode);
+    u64 intra_total = 0;
+    for (u32 k = 0; k < plan.num_shards(); ++k) {
+      const Graph sub = plan.shard_subgraph(g, k);
+      ASSERT_EQ(sub.num_nodes(), plan.shard_size(k));
+      intra_total += sub.num_edges();
+      // Every local edge maps back to a real global edge within shard k.
+      for (NodeId lu = 0; lu < sub.num_nodes(); ++lu) {
+        const NodeId gu = plan.global_of(k, lu);
+        for (const NodeId lv : sub.out_neighbors(lu)) {
+          const NodeId gv = plan.global_of(k, lv);
+          EXPECT_EQ(plan.shard_of(gv), k);
+          bool found = false;
+          for (const NodeId w : g.out_neighbors(gu)) found |= (w == gv);
+          EXPECT_TRUE(found) << "phantom edge " << gu << "->" << gv;
+        }
+      }
+    }
+    EXPECT_EQ(intra_total + plan.count_boundary_edges(g), g.num_edges());
+  }
+}
+
+TEST(ShardPlan, SingleShardIsIdentityLayout) {
+  const Graph g = path(10);
+  for (const auto mode : {PartitionMode::kHostHash, PartitionMode::kSccAware}) {
+    const ShardPlan plan = make_plan(g, 1, mode);
+    EXPECT_EQ(plan.num_shards(), 1u);
+    EXPECT_EQ(plan.shard_size(0), 10u);
+    for (NodeId v = 0; v < 10; ++v) {
+      EXPECT_EQ(plan.shard_of(v), 0u);
+      EXPECT_EQ(plan.local_of(v), v);  // ascending members => identity
+    }
+    EXPECT_EQ(plan.count_boundary_edges(g), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace srsr::graph

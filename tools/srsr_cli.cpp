@@ -126,6 +126,20 @@ class Args {
   std::map<std::string, std::string> values_;
 };
 
+/// Applies --shards K / --partition hash|scc to a model config.
+/// Omitting --shards keeps the monolithic solve path.
+void apply_sharding(const Args& args, core::SrsrConfig& cfg) {
+  const u32 shards = static_cast<u32>(args.get_u64("shards", 0));
+  check(shards > 0 || !args.has("partition"), "--partition needs --shards");
+  const std::string partition = args.get("partition", "hash");
+  check(partition == "hash" || partition == "scc",
+        "--partition must be hash or scc");
+  cfg.sharding.shards = shards;
+  cfg.sharding.partition = partition == "scc"
+                               ? graph::PartitionMode::kSccAware
+                               : graph::PartitionMode::kHostHash;
+}
+
 /// Loads a crawl directory into a WebCorpus (+ blocklisted source ids).
 struct LoadedCrawl {
   graph::WebCorpus corpus;
@@ -228,6 +242,7 @@ int cmd_rank(const Args& args) {
     core::SrsrConfig cfg;
     cfg.alpha = alpha;
     cfg.throttle_mode = core::ThrottleMode::kTeleportDiscard;
+    apply_sharding(args, cfg);
     if (tracing) cfg.convergence.trace = &trace;
     obs::StageTimer build_stage("cli.build_model", &report);
     const core::SpamResilientSourceRank model(corpus.pages, map, cfg);
@@ -299,6 +314,7 @@ int cmd_stats(const Args& args) {
   core::SrsrConfig cfg;
   cfg.alpha = alpha;
   cfg.throttle_mode = core::ThrottleMode::kTeleportDiscard;
+  apply_sharding(args, cfg);
   obs::IterationTrace trace;
   cfg.convergence.trace = &trace;
   const core::SpamResilientSourceRank model(corpus.pages, map, cfg);
@@ -364,6 +380,7 @@ int cmd_sweep(const Args& args) {
   cfg.throttle_mode = mode_name == "absorb"
                           ? core::ThrottleMode::kSelfAbsorb
                           : core::ThrottleMode::kTeleportDiscard;
+  apply_sharding(args, cfg);
 
   WallTimer build_timer;
   const core::SpamResilientSourceRank model(corpus.pages, map, cfg);
@@ -433,6 +450,7 @@ int cmd_serve(const Args& args) {
   cfg.throttle_mode = mode_name == "absorb"
                           ? core::ThrottleMode::kSelfAbsorb
                           : core::ThrottleMode::kTeleportDiscard;
+  apply_sharding(args, cfg);
   const core::SpamResilientSourceRank model(corpus.pages, map, cfg);
 
   // Standing policy: fully throttle the top-k spam-proximate sources
@@ -467,6 +485,10 @@ int cmd_serve(const Args& args) {
   serve::RecomputeConfig recompute_cfg;
   recompute_cfg.slo = &slo;
   recompute_cfg.drift = &drift;
+  recompute_cfg.shard_workers =
+      static_cast<u32>(args.get_u64("shard-workers", 0));
+  check(recompute_cfg.shard_workers == 0 || model.sharded(),
+        "--shard-workers needs --shards");
   serve::RecomputePipeline pipeline(model, corpus.source_hosts, store,
                                     recompute_cfg);
   pipeline.submit(policy, policy_name);
@@ -590,6 +612,19 @@ int cmd_serve(const Args& args) {
                 << TextTable::fixed(d.topk_churn, 2) << ", outliers "
                 << d.outliers << ", anomalies " << drift.anomalies()
                 << ", anomalous " << (d.anomalous ? "yes" : "no") << '\n';
+      if (model.sharded()) {
+        const auto st = pipeline.stats();
+        std::cout << "shards " << model.num_shards() << ", partition "
+                  << graph::partition_mode_name(model.shard_plan().mode())
+                  << ", last_dirty " << st.last_dirty_shards
+                  << ", last_updates " << st.last_shard_updates
+                  << ", last_rounds " << st.last_rounds << '\n';
+        for (const auto& sh : pipeline.shard_status())
+          std::cout << "shard " << sh.shard << " epoch " << sh.epoch
+                    << " staleness "
+                    << TextTable::fixed(sh.staleness_seconds, 1)
+                    << "s dirty " << (sh.dirty_last ? 1 : 0) << '\n';
+      }
     } else if (req == "metrics") {
       // Prometheus text exposition of the whole registry (empty unless
       // --metrics enabled recording).
@@ -608,7 +643,12 @@ int cmd_serve(const Args& args) {
       const auto st = pipeline.stats();
       std::cout << "published " << st.published << ", failed " << st.failed
                 << ", coalesced " << st.coalesced << ", epoch "
-                << st.last_epoch << '\n';
+                << st.last_epoch;
+      if (model.sharded())
+        std::cout << ", shards " << model.num_shards() << ", dirty "
+                  << st.last_dirty_shards << ", shard_updates "
+                  << st.last_shard_updates;
+      std::cout << '\n';
     } else {
       std::cout << "err unknown request '" << req << "'\n";
     }
@@ -699,17 +739,24 @@ void usage() {
       "commands:\n"
       "  generate --out DIR [--sources N] [--spam N] [--seed S] [--terms]\n"
       "  rank     --in DIR [--algo pagerank|sourcerank|srsr] [--top K]\n"
-      "           [--alpha A] [--topk K] [--trace FILE] [--trace-out FILE]\n"
+      "           [--alpha A] [--topk K] [--shards K] [--partition hash|scc]\n"
+      "           [--trace FILE] [--trace-out FILE]\n"
       "  audit    --in DIR [--topk K]     (needs labels.txt)\n"
       "  attack   --in DIR [--target-source S] [--pages N] [--cross C]\n"
-      "  stats    --in DIR [--alpha A] [--topk K] [--json] [--prometheus]\n"
+      "  stats    --in DIR [--alpha A] [--topk K] [--shards K]\n"
+      "           [--partition hash|scc] [--json] [--prometheus]\n"
       "  sweep    --in DIR [--configs N] [--alpha A] [--topk K]\n"
-      "           [--mode absorb|discard] [--trace-out FILE]\n"
+      "           [--mode absorb|discard] [--shards K]\n"
+      "           [--partition hash|scc] [--trace-out FILE]\n"
       "  serve    --in DIR [--alpha A] [--topk K] [--mode absorb|discard]\n"
+      "           [--shards K] [--partition hash|scc] [--shard-workers N]\n"
       "           [--metrics]   (requests on stdin: top K | score HOST |\n"
       "           rank HOST | compare HOST | recompute S | labels HOST... |\n"
       "           info | stats | metrics | tracefile FILE | quit)\n"
       "\n"
+      "--shards K partitions the source graph and solves per shard\n"
+      "(--shards 1 is bit-identical to the monolithic path); serve then\n"
+      "re-solves only the shards a policy change touches.\n"
       "--trace FILE writes a RunReport JSON document; --trace-out FILE\n"
       "writes a Chrome/Perfetto trace-event JSON of the run's spans\n"
       "(open at https://ui.perfetto.dev).\n";
