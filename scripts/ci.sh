@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # Single-exit-code CI gate: configure → build → unit tests → sanitizer
-# matrix (tsan + asan) → clang-tidy → project lint. Any stage failing
-# fails the run; stages whose tooling is absent in the image (clang-tidy
-# on the gcc-only container) skip with a notice rather than fail.
+# matrix (tsan + asan) → clang-tidy → project lint → static analysis
+# (srsr_analyze) → analyzer selftest. Any stage failing fails the run;
+# stages whose tooling is absent in the image (clang-tidy on the
+# gcc-only container) skip with a notice rather than fail.
 #
 #   scripts/ci.sh
 set -euo pipefail
@@ -81,6 +82,16 @@ scripts/tidy.sh
 
 stage "project lint (tools/lint/srsr_lint.py)"
 python3 tools/lint/srsr_lint.py
+
+stage "static analysis (tools/analyze/srsr_analyze.py)"
+# All six passes over the full tree, findings + layering DOT +
+# contract-coverage table recorded in bench_out/ANALYZE_report.json.
+python3 tools/analyze/srsr_analyze.py \
+  --compile-commands build/compile_commands.json \
+  --report bench_out/ANALYZE_report.json --dot bench_out/layering.dot
+
+stage "analyzer selftest (tools/analyze/selftest.py)"
+python3 tools/analyze/selftest.py
 
 echo
 echo "=== ci: all gates passed ==="

@@ -26,8 +26,23 @@ if [[ $# -gt 0 ]]; then
   scope=("$@")
 fi
 
-mapfile -t files < <(find "${scope[@]}" -name '*.cpp' | sort)
-echo "tidy: ${#files[@]} translation units"
+# The file list comes from compile_commands.json, not find: tidy then
+# covers exactly the translation units CMake builds (new files missing
+# from a CMakeLists target are caught at build time, and generated or
+# excluded sources are never tidied by accident).
+mapfile -t files < <(python3 - "${scope[@]}" <<'EOF'
+import json, os, sys
+scopes = tuple(os.path.abspath(s) + os.sep for s in sys.argv[1:])
+seen = set()
+for entry in json.load(open("build/compile_commands.json")):
+    path = os.path.abspath(os.path.join(entry["directory"], entry["file"]))
+    if path.endswith(".cpp") and path.startswith(scopes) and path not in seen:
+        seen.add(path)
+        print(os.path.relpath(path))
+EOF
+)
+files=($(printf '%s\n' "${files[@]}" | sort))
+echo "tidy: ${#files[@]} translation units (from build/compile_commands.json)"
 
 if command -v run-clang-tidy >/dev/null 2>&1; then
   run-clang-tidy -p build -quiet "${files[@]}"

@@ -20,11 +20,13 @@
 //     reactive defense, not a frozen one.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/srsr.hpp"
 #include "rank/pagerank.hpp"
 #include "spam/campaign.hpp"
+#include "util/common.hpp"
 
 namespace srsr::core {
 

@@ -32,6 +32,7 @@
 #include "core/source_map.hpp"
 #include "graph/graph.hpp"
 #include "rank/stochastic.hpp"
+#include "util/common.hpp"
 
 namespace srsr::core {
 

@@ -30,6 +30,7 @@
 #include "graph/partition.hpp"
 #include "rank/sharded_solve.hpp"
 #include "rank/solvers.hpp"
+#include "util/common.hpp"
 
 namespace srsr::core {
 

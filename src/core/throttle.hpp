@@ -57,6 +57,7 @@
 #pragma once
 
 #include <span>
+#include <vector>
 
 #include "rank/operator.hpp"
 #include "rank/stochastic.hpp"

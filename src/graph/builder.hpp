@@ -1,6 +1,7 @@
 // Mutable edge accumulator that finalizes into an immutable CSR Graph.
 #pragma once
 
+#include <cstddef>
 #include <utility>
 #include <vector>
 

@@ -27,10 +27,12 @@
 // Options::max_ref_chain).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/graph.hpp"
 #include "util/bitio.hpp"
+#include "util/common.hpp"
 
 namespace srsr::graph {
 

@@ -9,6 +9,7 @@
 #pragma once
 
 #include "graph/graph.hpp"
+#include "util/common.hpp"
 #include "util/rng.hpp"
 
 namespace srsr::graph {

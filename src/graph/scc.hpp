@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/common.hpp"
 
 namespace srsr::graph {
 

@@ -1,9 +1,11 @@
 // Whole-graph transformations. All return new immutable Graphs.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/common.hpp"
 
 namespace srsr::graph {
 

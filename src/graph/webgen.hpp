@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "util/common.hpp"
 #include "util/rng.hpp"
 
 namespace srsr::graph {

@@ -21,6 +21,7 @@
 
 #include <atomic>
 #include <bit>
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <mutex>

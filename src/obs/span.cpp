@@ -39,6 +39,7 @@ struct ThreadRing {
   void push(const SpanRecord& rec) {
     const u64 n = written.load(std::memory_order_relaxed);
     slots[n % kRingCapacity] = rec;
+    // Publishes the slot write above. pairs-with: span-ring-cursor
     written.store(n + 1, std::memory_order_release);
   }
 };
@@ -125,6 +126,7 @@ std::vector<SpanRecord> collect_spans() {
   }
   std::vector<SpanRecord> out;
   for (ThreadRing* ring : rings) {
+    // pairs-with: span-ring-cursor
     const u64 written = ring->written.load(std::memory_order_acquire);
     const u64 kept = written < kRingCapacity ? written : kRingCapacity;
     out.reserve(out.size() + kept);
@@ -140,6 +142,7 @@ void clear_spans() {
   for (ThreadRing* ring : reg.rings) {
     // Owner threads may push concurrently; resetting the cursor from
     // here is a benign snapshot-level race, same as collect_spans().
+    // pairs-with: span-ring-cursor
     ring->written.store(0, std::memory_order_release);
   }
 }

@@ -18,6 +18,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/report.hpp"
+#include "util/common.hpp"
 #include "util/timer.hpp"
 
 namespace srsr::obs {

@@ -23,7 +23,9 @@
 #pragma once
 
 #include <cmath>
+#include <cstddef>
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "util/common.hpp"

@@ -60,6 +60,8 @@ RankResult gauss_seidel_solve(const TransitionOperator& op,
   obs::IterationTrace* const trace = config.convergence.trace;
   f64 first_residual = 0.0;
 
+  // srsr:hot gauss-seidel-sweep — prev/x are fixed-size; `prev = x`
+  // copies element-wise into already-owned storage.
   for (u32 iter = 0; iter < config.convergence.max_iterations; ++iter) {
     prev = x;
     for (NodeId v = 0; v < n; ++v) {
@@ -78,6 +80,7 @@ RankResult gauss_seidel_solve(const TransitionOperator& op,
       break;
     }
   }
+  // srsr:endhot
 
   f64 sum = 0.0;
   for (const f64 v : x) sum += v;

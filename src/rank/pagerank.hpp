@@ -21,6 +21,7 @@
 #include "graph/graph.hpp"
 #include "rank/convergence.hpp"
 #include "rank/result.hpp"
+#include "util/common.hpp"
 
 namespace srsr::rank {
 

@@ -56,6 +56,9 @@ PushResult run_push(NodeId n, const PushConfig& config, std::vector<f64> p,
   obs::IterationTrace* const trace = config.trace;
   u32 sweeps = 0;
 
+  // srsr:hot push-loop — the work-queue core of local push. The deque
+  // frontier is inherently dynamic; its growth is the algorithm's data
+  // structure, not an accident, so those lines carry explicit waivers.
   while (!queue.empty()) {
     if (config.max_pushes != 0 && result.pushes >= config.max_pushes) break;
     const NodeId u = queue.front();
@@ -80,11 +83,12 @@ PushResult run_push(NodeId n, const PushConfig& config, std::vector<f64> p,
       const NodeId v = cs[i];
       r[v] += alpha * ws[i] * ru;
       if (!in_queue[v] && std::abs(r[v]) >= config.epsilon) {
-        queue.push_back(v);
+        queue.push_back(v);  // srsr-analyze: allow(hotloop): frontier deque is the push algorithm's state
         in_queue[v] = true;
       }
     }
   }
+  // srsr:endhot
 
   result.converged = true;
   for (const f64 v : r) {

@@ -31,6 +31,7 @@
 #pragma once
 
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "obs/trace.hpp"

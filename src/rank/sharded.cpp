@@ -137,8 +137,10 @@ void ShardedMatrix::exchange_halo(u32 k,
   const BoundaryBlock& b = boundary_[k];
   SRSR_CHECK(shard_x.size() == num_shards() && halo.size() == b.halo_size(),
              "ShardedMatrix::exchange_halo: size mismatch");
+  // srsr:hot halo-exchange
   for (u32 s = 0; s < b.halo_size(); ++s)
     halo[s] = shard_x[b.halo_owner_shard_[s]][b.halo_owner_local_[s]];
+  // srsr:endhot
 }
 
 u64 ShardedMatrix::memory_bytes() const {
@@ -200,6 +202,7 @@ void ShardedOperator::pull_shard(u32 k, std::span<const f64> x_local,
   const f64* const scale = off_scale_local_[k].data();
   const f64* const diag = diagonal_local_[k].data();
   const f64* const scale_h = off_scale_halo_[k].data();
+  // srsr:hot shard-pull
   parallel_for(0, rows, [&](std::size_t v) {
     // Intra-shard part: the exact FP sequence of ThrottledView::pull
     // restricted to the shard (which IS the whole sequence when K=1).
@@ -219,6 +222,7 @@ void ShardedOperator::pull_shard(u32 k, std::span<const f64> x_local,
     }
     y_local[v] = acc + x_local[v] * diag[v];
   });
+  // srsr:endhot
 }
 
 void ShardedOperator::pull(std::span<const f64> x, std::span<f64> y) const {

@@ -81,6 +81,8 @@ RankResult iterate(const TransitionOperator& op, const SolverConfig& config,
   obs::IterationTrace* const trace = config.convergence.trace;
   f64 first_residual = 0.0;
 
+  // srsr:hot pull-iteration — the steady-state loop of every solve;
+  // all buffers (cur/next/teleport) are sized once above.
   for (u32 iter = 0; iter < config.convergence.max_iterations; ++iter) {
     f64 deficit_mass = 0.0;
     if (complete_deficits) {
@@ -110,6 +112,7 @@ RankResult iterate(const TransitionOperator& op, const SolverConfig& config,
       break;
     }
   }
+  // srsr:endhot
 
   // Normalize to a distribution: exact for the power route, and the
   // paper's sigma/||sigma|| step for the linear route.

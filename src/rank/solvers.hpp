@@ -25,6 +25,7 @@
 #include "rank/operator.hpp"
 #include "rank/result.hpp"
 #include "rank/stochastic.hpp"
+#include "util/common.hpp"
 
 namespace srsr::rank {
 

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "graph/graph.hpp"

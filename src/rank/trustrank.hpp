@@ -12,6 +12,7 @@
 
 #include "graph/graph.hpp"
 #include "rank/pagerank.hpp"
+#include "util/common.hpp"
 
 namespace srsr::rank {
 

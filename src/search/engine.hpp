@@ -11,9 +11,11 @@
 
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "search/index.hpp"
+#include "util/common.hpp"
 
 namespace srsr::search {
 

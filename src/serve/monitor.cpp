@@ -15,6 +15,8 @@ namespace {
 u64 steady_now_ns() {
   return static_cast<u64>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // srsr-analyze: allow(determinism): feeds snapshot staleness
+          // metadata (SLO freshness verdicts), never the sigma values.
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }

@@ -28,6 +28,8 @@ std::vector<std::string> validated_hosts(std::vector<std::string> hosts,
 u64 steady_now_ns() {
   return static_cast<u64>(
       std::chrono::duration_cast<std::chrono::nanoseconds>(
+          // srsr-analyze: allow(determinism): stamps per-shard publish
+          // epochs for staleness reporting; sigma never reads it.
           std::chrono::steady_clock::now().time_since_epoch())
           .count());
 }

@@ -25,6 +25,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>

@@ -31,17 +31,26 @@ u32 ShardWorkerPool::claim_tasks(u64 generation, u32 tasks,
                                  const std::function<void(u32)>* fn) {
   const u64 tag = claim_tag(generation);
   u32 completed = 0;
-  u64 state = claim_.load();
+  // pairs-with: shard-claim-word
+  u64 state = claim_.load(std::memory_order_acquire);
   for (;;) {
     // A mismatched tag means this thread slept through the whole round
     // and the state now belongs to a newer one: claim nothing.
     if ((state & ~0xffffffffull) != tag) break;
     const u32 index = static_cast<u32>(state & 0xffffffffull);
     if (index >= tasks) break;
-    if (claim_.compare_exchange_weak(state, state + 1)) {
+    // Winning the CAS grants ownership of shard `index`, whose state
+    // the previous round's owner released through mutex_ when it
+    // reported done; acq_rel keeps this claim word a sound fallback
+    // edge even if that mutex hand-off is ever reshaped.
+    // pairs-with: shard-claim-word
+    if (claim_.compare_exchange_weak(state, state + 1,
+                                     std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
       (*fn)(index);
       ++completed;
-      state = claim_.load();
+      // pairs-with: shard-claim-word
+      state = claim_.load(std::memory_order_acquire);
     }
   }
   return completed;
@@ -60,7 +69,10 @@ void ShardWorkerPool::run(u32 tasks, const std::function<void(u32)>& fn) {
     tasks_ = tasks;
     done_ = 0;
     fn_ = &fn;
-    claim_.store(claim_tag(generation));
+    // Publishes the new round's tag (the task parameters above travel
+    // through mutex_; release here orders the tag after them for
+    // lock-free claimers). pairs-with: shard-claim-word
+    claim_.store(claim_tag(generation), std::memory_order_release);
   }
   work_cv_.notify_all();
   // The caller is a worker too: it claims tasks until the range is

@@ -33,6 +33,7 @@
 
 #include <atomic>
 #include <memory>
+#include <utility>
 
 #include "serve/snapshot.hpp"
 #include "util/common.hpp"
@@ -50,6 +51,7 @@ class SnapshotStore {
   /// grab it ONCE per request so every lookup in the request sees one
   /// consistent epoch.
   SnapshotPtr current() const {
+    // pairs-with: snapshot-head
     return std::atomic_load_explicit(&head_, std::memory_order_acquire);
   }
 
@@ -58,6 +60,7 @@ class SnapshotStore {
   u64 publish(RankSnapshot snapshot) {
     const u64 epoch = epoch_.fetch_add(1, std::memory_order_relaxed) + 1;
     snapshot.stamp_epoch(epoch);
+    // Publishes the fully-built snapshot. pairs-with: snapshot-head
     std::atomic_store_explicit(
         &head_, SnapshotPtr(std::make_shared<const RankSnapshot>(
                     std::move(snapshot))),

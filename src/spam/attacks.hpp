@@ -11,9 +11,11 @@
 // spam — whether the defense catches them is precisely the experiment).
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/webgen.hpp"
+#include "util/common.hpp"
 #include "util/rng.hpp"
 
 namespace srsr::spam {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "spam/attacks.hpp"
+#include "util/common.hpp"
 
 namespace srsr::spam {
 

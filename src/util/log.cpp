@@ -73,15 +73,21 @@ std::string timestamp_utc() {
 /// unreadably wide; a per-process sequence number greps better).
 u32 thread_tag() {
   static std::atomic<u32> next{0};
-  thread_local const u32 tag = next.fetch_add(1);
+  // Tag uniqueness is the only contract; nothing is published through
+  // the counter.
+  thread_local const u32 tag = next.fetch_add(1, std::memory_order_relaxed);
   return tag;
 }
 
 }  // namespace
 
-void set_log_level(LogLevel level) { level_ref().store(level); }
+// The level is a filter knob, not a publication point: no data is
+// transferred through it, so relaxed is sufficient on both sides.
+void set_log_level(LogLevel level) {
+  level_ref().store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return level_ref().load(); }
+LogLevel log_level() { return level_ref().load(std::memory_order_relaxed); }
 
 void log_message(LogLevel level, const std::string& msg) {
   if (level < log_level()) return;

@@ -18,6 +18,7 @@
 
 #include <sstream>
 #include <string>
+#include <utility>
 
 #include "util/common.hpp"
 

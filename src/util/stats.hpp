@@ -1,6 +1,7 @@
 // Summary statistics over score and degree vectors.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <vector>
 

@@ -6,6 +6,7 @@
 // printf bookkeeping.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
 #include <string>
 #include <vector>

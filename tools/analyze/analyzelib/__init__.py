@@ -1,0 +1,23 @@
+"""srsr_analyze — project-invariant static analysis passes.
+
+Shared infrastructure lives in source.py; each pass module exposes
+
+    run(ctx) -> PassResult
+
+where ctx is an analyzelib.source.Context over the repository. Passes
+are tokenizer-based (no libclang): they work on comment/string-scrubbed
+source text plus the comment channel (annotations like `pairs-with:`
+and `srsr:hot` live in comments on purpose — they are contracts for
+humans first, and the analyzer merely cross-checks them).
+"""
+
+from analyzelib.source import Context, PassResult, Violation  # noqa: F401
+
+PASS_ORDER = [
+    "layering",
+    "atomics",
+    "determinism",
+    "hotloop",
+    "contracts",
+    "hygiene",
+]

@@ -1,0 +1,129 @@
+"""Pass 6 — header hygiene (quick pass).
+
+Two rules over every header in src/:
+
+  * `#pragma once` must be the first non-comment line;
+  * include-what-you-use-lite: a header that names a symbol from the
+    curated table below must include that symbol's header *directly* —
+    relying on a transitive include compiles today and breaks the day
+    someone slims an upstream header. The table is deliberately small
+    (the symbols this codebase actually uses) so the rule stays
+    high-signal; it checks a header's own declarations only, which is
+    why only .hpp files are scanned.
+"""
+
+from __future__ import annotations
+
+import re
+
+from analyzelib.source import Context, PassResult, Violation
+
+PASS_NAME = "hygiene"
+
+# (regex over scrubbed text, required include, human name)
+IWYU: list[tuple[re.Pattern, str, str]] = [
+    (re.compile(r"\bstd::vector\s*<"), "<vector>", "std::vector"),
+    (re.compile(r"\bstd::string\b"), "<string>", "std::string"),
+    (re.compile(r"\bstd::string_view\b"), "<string_view>",
+     "std::string_view"),
+    (re.compile(r"\bstd::span\s*<"), "<span>", "std::span"),
+    (re.compile(r"\bstd::atomic\s*<|\bstd::memory_order_"), "<atomic>",
+     "std::atomic"),
+    (re.compile(r"\bstd::(?:mutex|lock_guard|unique_lock|scoped_lock)\b"),
+     "<mutex>", "std::mutex"),
+    (re.compile(r"\bstd::condition_variable\b"), "<condition_variable>",
+     "std::condition_variable"),
+    (re.compile(r"\bstd::(?:thread|jthread)\b"), "<thread>", "std::thread"),
+    (re.compile(r"\bstd::function\s*<"), "<functional>", "std::function"),
+    (re.compile(r"\bstd::optional\s*<|\bstd::nullopt\b"), "<optional>",
+     "std::optional"),
+    (re.compile(r"\bstd::(?:shared_ptr|unique_ptr|weak_ptr|make_shared|"
+                r"make_unique)\b"), "<memory>", "std::shared_ptr"),
+    (re.compile(r"\bstd::unordered_map\s*<"), "<unordered_map>",
+     "std::unordered_map"),
+    (re.compile(r"\bstd::unordered_set\s*<"), "<unordered_set>",
+     "std::unordered_set"),
+    (re.compile(r"\bstd::(?:map|multimap)\s*<"), "<map>", "std::map"),
+    (re.compile(r"\bstd::(?:set|multiset)\s*<"), "<set>", "std::set"),
+    (re.compile(r"\bstd::array\s*<"), "<array>", "std::array"),
+    (re.compile(r"\bstd::deque\s*<"), "<deque>", "std::deque"),
+    (re.compile(r"\bstd::(?:pair|move|swap|exchange|forward)\b"),
+     "<utility>", "std::move/pair"),
+    (re.compile(r"\bstd::chrono\b"), "<chrono>", "std::chrono"),
+    (re.compile(r"\bstd::size_t\b|\bstd::ptrdiff_t\b"), "<cstddef>",
+     "std::size_t"),
+    (re.compile(r"\bstd::u?int(?:8|16|32|64)_t\b"), "<cstdint>",
+     "std::intN_t"),
+    (re.compile(r"\bstd::filesystem\b"), "<filesystem>", "std::filesystem"),
+    (re.compile(r"\bstd::ostream\b|\bstd::istream\b"), "<iosfwd>",
+     "stream refs (or <ostream>/<istream>)"),
+    (re.compile(r"\bstd::bit_cast\b"), "<bit>", "std::bit_cast"),
+    (re.compile(r"\bstd::variant\s*<"), "<variant>", "std::variant"),
+]
+
+# Project-wide typedefs (u8..u64, f32/f64, NodeId & friends) live in
+# util/common.hpp; a header using them must include it directly.
+RE_COMMON_TYPES = re.compile(r"\b(?:u8|u16|u32|u64|i32|i64|f32|f64)\b")
+COMMON_HPP = "util/common.hpp"
+
+RE_INCLUDE = re.compile(r'^\s*#\s*include\s+([<"][^">]+[">])')
+
+
+def _pragma_once_ok(sf) -> bool:
+    for raw in sf.raw_lines:
+        stripped = raw.strip()
+        if not stripped or stripped.startswith("//") or \
+                stripped.startswith("/*") or stripped.startswith("*"):
+            continue
+        return stripped == "#pragma once"
+    return False
+
+
+def run(ctx: Context) -> PassResult:
+    violations = ctx.waiver_violations(PASS_NAME)
+    checked = 0
+    for sf in ctx.sources():
+        if not sf.rel.endswith(".hpp"):
+            continue
+        checked += 1
+        if not _pragma_once_ok(sf):
+            violations.append(Violation(
+                sf.rel, 1, PASS_NAME,
+                "header must open with #pragma once"))
+
+        includes = set()
+        for line in sf.raw_lines:
+            m = RE_INCLUDE.match(line)
+            if m:
+                token = m.group(1)
+                includes.add(token)
+                includes.add(token[1:-1])
+
+        def missing(required: str) -> bool:
+            return required not in includes and \
+                required.strip("<>\"") not in includes
+
+        if sf.waived(1, PASS_NAME):
+            continue
+        for rx, required, symbol in IWYU:
+            m = rx.search(sf.scrubbed)
+            if m and missing(required):
+                lineno = sf.scrubbed.count("\n", 0, m.start()) + 1
+                if sf.waived(lineno, PASS_NAME):
+                    continue
+                violations.append(Violation(
+                    sf.rel, lineno, PASS_NAME,
+                    f"uses {symbol} but does not include {required} "
+                    "directly"))
+        if sf.rel != "src/" + COMMON_HPP and \
+                RE_COMMON_TYPES.search(sf.scrubbed) and missing(COMMON_HPP):
+            m = RE_COMMON_TYPES.search(sf.scrubbed)
+            lineno = sf.scrubbed.count("\n", 0, m.start()) + 1
+            if not sf.waived(lineno, PASS_NAME):
+                violations.append(Violation(
+                    sf.rel, lineno, PASS_NAME,
+                    f'uses project typedefs (u32/u64/f64/...) but does not '
+                    f'include "{COMMON_HPP}" directly'))
+
+    summary = {"headers": checked}
+    return PassResult(PASS_NAME, violations, summary, checked)

@@ -1,0 +1,10 @@
+#include <atomic>
+std::atomic<int> g_ready{0};
+std::atomic<long> g_count{0};
+void publish() {
+  g_count.fetch_add(1, std::memory_order_relaxed);
+  g_ready.store(1, std::memory_order_release);  // pairs-with: fx-ready
+}
+int consume() {
+  return g_ready.load(std::memory_order_acquire);  // pairs-with: fx-ready
+}

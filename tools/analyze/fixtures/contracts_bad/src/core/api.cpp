@@ -1,0 +1,6 @@
+#include "core/api.hpp"
+namespace fx {
+double checked_entry(double alpha, std::size_t n) {
+  return alpha * static_cast<double>(n);
+}
+}

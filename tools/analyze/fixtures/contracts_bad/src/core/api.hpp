@@ -1,0 +1,6 @@
+#pragma once
+#include <cstddef>
+#define SRSR_CHECK(cond, ...) ((void)(cond))
+namespace fx {
+double checked_entry(double alpha, std::size_t n);
+}

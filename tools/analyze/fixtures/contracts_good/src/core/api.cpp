@@ -1,0 +1,7 @@
+#include "core/api.hpp"
+namespace fx {
+double checked_entry(double alpha, std::size_t n) {
+  SRSR_CHECK(alpha >= 0.0, "alpha");
+  return alpha * static_cast<double>(n);
+}
+}

@@ -1,0 +1,8 @@
+#include <vector>
+double pull(const std::vector<double>& x) {
+  std::vector<double> copy;
+  // srsr:hot fx-pull
+  for (std::size_t i = 0; i < x.size(); ++i) copy.push_back(x[i]);
+  // srsr:endhot
+  return copy.empty() ? 0.0 : copy.back();
+}

@@ -1,0 +1,9 @@
+#include <vector>
+double pull(const std::vector<double>& x, std::vector<double>& scratch) {
+  scratch.reserve(x.size());  // srsr-analyze: allow(hotloop): reused scratch, sized once
+  double acc = 0.0;
+  // srsr:hot fx-pull
+  for (std::size_t i = 0; i < x.size(); ++i) acc += x[i];
+  // srsr:endhot
+  return acc;
+}

@@ -1,0 +1,5 @@
+#include <cstddef>
+
+namespace fx {
+inline std::size_t cap(const std::vector<double>& v) { return v.capacity(); }
+}

@@ -1,0 +1,8 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace fx {
+inline std::size_t cap(const std::vector<double>& v) { return v.capacity(); }
+}

@@ -1,0 +1,3 @@
+#pragma once
+#include "serve/top.hpp"
+namespace fx { inline int base() { return top(); } }

@@ -1,0 +1,3 @@
+#pragma once
+#include "util/base.hpp"
+namespace fx { inline int top() { return base(); } }

@@ -1,0 +1,2 @@
+#pragma once
+namespace fx { inline int base() { return 1; } }

@@ -1,0 +1,8 @@
+#include <cstdio>
+#include <cstdlib>
+namespace fx {
+int noisy() {
+  printf("scores ready\n");
+  return rand();
+}
+}

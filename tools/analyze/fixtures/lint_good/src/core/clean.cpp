@@ -1,0 +1,4 @@
+#include "util/log.hpp"
+namespace fx {
+int answer() { return 42; }
+}

@@ -1,0 +1,175 @@
+#!/usr/bin/env python3
+"""srsr_analyze — compile-commands-driven, multi-pass static analysis
+for the srsr tree. Tokenizer-based (no libclang); the passes and their
+contracts are documented in DESIGN.md §14.
+
+  layering     module include graph must match the allowed DAG
+               (util at the bottom, serve at the top); graph emitted
+               as JSON + DOT into the run report
+  atomics      no defaulted seq_cst; acquire/release sites carry
+               resolving `// pairs-with:` annotations
+  determinism  no unordered iteration / std::reduce / clock / RNG /
+               nondeterministic parallel sums on the sigma path
+  hotloop      no allocations inside `// srsr:hot` fenced kernels
+  contracts    public-API contract coverage per module, gated against
+               tools/analyze/baseline.json
+  hygiene      #pragma once + include-what-you-use-lite for headers
+
+Usage:
+  srsr_analyze.py                          # all passes, exit 1 on any
+  srsr_analyze.py --pass atomics           # one pass
+  srsr_analyze.py --report bench_out/ANALYZE_report.json
+  srsr_analyze.py --pass contracts --write-baseline
+
+Waiver grammar (reviewed exceptions, reason mandatory):
+  // srsr-analyze: allow(<pass>[, <pass>...]): <reason>
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+from analyzelib import PASS_ORDER  # noqa: E402
+from analyzelib import (atomics, contracts, determinism, hotloop,  # noqa: E402
+                        hygiene, layering)
+from analyzelib.source import Context  # noqa: E402
+
+PASSES = {
+    "layering": layering.run,
+    "atomics": atomics.run,
+    "determinism": determinism.run,
+    "hotloop": hotloop.run,
+    "contracts": contracts.run,
+    "hygiene": hygiene.run,
+}
+
+
+def write_report(path: str, results: list, seconds: dict) -> None:
+    """RunReport-shaped JSON (schema of bench_out/BENCH_*.json) with the
+    analyzer findings; written via temp + rename, same as obs::RunReport."""
+    coverage_rows = []
+    contracts_summary = next(
+        (r.summary for r in results if r.name == "contracts"), {})
+    for module, row in sorted(contracts_summary.get("modules", {}).items()):
+        coverage_rows.append([
+            module, str(row["scored"]), str(row["checked"]),
+            str(row["suppressed"]), f"{row['coverage'] * 100:.1f}%",
+        ])
+    layering_summary = next(
+        (r.summary for r in results if r.name == "layering"), {})
+
+    report = {
+        "schema_version": 1,
+        "name": "srsr_analyze",
+        "meta": {
+            "title": "srsr_analyze static analysis report",
+            "passes": len(results),
+            "total_violations": sum(len(r.violations) for r in results),
+        },
+        "stages": [
+            {"name": r.name, "seconds": round(seconds.get(r.name, 0.0), 4),
+             "violations": len(r.violations)}
+            for r in results
+        ],
+        "analyze": {
+            "passes": {
+                r.name: {
+                    "violations": len(r.violations),
+                    "checked": r.checked_files,
+                    "findings": [str(v) for v in r.violations],
+                    "summary": {k: v for k, v in r.summary.items()
+                                if k != "dot"},
+                }
+                for r in results
+            },
+            "layering_dot": layering_summary.get("dot", ""),
+        },
+        "table": {
+            "headers": ["Module", "Scored", "Checked", "Suppressed",
+                        "Coverage"],
+            "rows": coverage_rows,
+        },
+    }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as f:
+        json.dump(report, f, indent=1)
+        f.write("\n")
+    os.replace(tmp, path)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--repo", default=os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__)))))
+    ap.add_argument("--pass", dest="passes", action="append",
+                    choices=sorted(PASSES), default=None,
+                    help="run only the named pass(es); default: all")
+    ap.add_argument("--report", default=None,
+                    help="write the RunReport JSON (incl. layering DOT and "
+                         "contract-coverage table) to this path")
+    ap.add_argument("--dot", default=None,
+                    help="also write the layering DOT graph to this path")
+    ap.add_argument("--baseline", default=None,
+                    help="contract-coverage baseline "
+                         "(default tools/analyze/baseline.json)")
+    ap.add_argument("--write-baseline", action="store_true",
+                    help="regenerate the contract-coverage baseline from "
+                         "the current tree")
+    ap.add_argument("--compile-commands", default=None,
+                    help="explicit compile_commands.json path "
+                         "(default build/compile_commands.json)")
+    args = ap.parse_args()
+
+    ctx = Context(os.path.abspath(args.repo),
+                  compile_commands=args.compile_commands)
+    selected = args.passes or PASS_ORDER
+
+    results = []
+    seconds = {}
+    status = 0
+    for name in PASS_ORDER:
+        if name not in selected:
+            continue
+        start = time.monotonic()
+        if name == "contracts":
+            result = contracts.run(ctx, baseline_path=args.baseline,
+                                   write_baseline=args.write_baseline)
+        else:
+            result = PASSES[name](ctx)
+        seconds[name] = time.monotonic() - start
+        results.append(result)
+        tag = "clean" if result.ok else f"{len(result.violations)} violation(s)"
+        print(f"srsr_analyze[{name}]: {tag} "
+              f"({result.checked_files} units checked)")
+        for v in result.violations:
+            print(f"  {v}")
+        if not result.ok:
+            status = 1
+
+    if args.report:
+        write_report(os.path.join(ctx.repo, args.report)
+                     if not os.path.isabs(args.report) else args.report,
+                     results, seconds)
+        print(f"srsr_analyze: report written to {args.report}")
+    if args.dot:
+        dot = next((r.summary.get("dot") for r in results
+                    if r.name == "layering"), None)
+        if dot:
+            dot_path = (args.dot if os.path.isabs(args.dot)
+                        else os.path.join(ctx.repo, args.dot))
+            os.makedirs(os.path.dirname(dot_path) or ".", exist_ok=True)
+            with open(dot_path, "w", encoding="utf-8") as f:
+                f.write(dot + "\n")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

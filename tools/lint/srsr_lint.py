@@ -117,7 +117,11 @@ def strip_comments_and_strings(line: str) -> str:
 def iter_sources(repo: str, subdirs: list[str]):
     for sub in subdirs:
         root = os.path.join(repo, sub)
-        for dirpath, _dirnames, filenames in os.walk(root):
+        for dirpath, dirnames, filenames in os.walk(root):
+            # Selftest fixtures (tools/analyze/fixtures/) contain
+            # deliberately-bad code; they are linted only through
+            # tools/analyze/selftest.py, never as part of the tree.
+            dirnames[:] = [d for d in dirnames if d != "fixtures"]
             for fn in sorted(filenames):
                 if fn.endswith(SRC_EXTS):
                     yield os.path.join(dirpath, fn)
