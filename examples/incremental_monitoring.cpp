@@ -1,27 +1,37 @@
 // incremental_monitoring: operating the ranking over an evolving crawl.
 //
 // A production index re-crawls continuously; each delta is small
-// relative to the corpus. This example simulates five "nightly" crawl
-// deltas (new pages, new links — including a link-farm attack growing
-// in one of them), re-ranks each night with a warm start from the
-// previous night's vector, and monitors two things:
+// relative to the corpus. This example feeds five "nightly" crawl
+// deltas through the stream subsystem — page-level mutations staged on
+// an EdgeStream, committed as one batch per night, applied by an
+// IncrementalRanker that re-derives only the dirty source rows and
+// pushes sigma back to convergence from its warm state — and monitors
+// two things:
 //
-//   1. ranking stability: Kendall tau night-over-night (global order
-//      drifts slowly under organic growth) and a promotion alarm — the
-//      number of pages that jumped >= 30 percentile points INTO the
-//      top 5%. Organic churn lives in the tie-heavy bottom of the
-//      ranking; a link-farm attack promotes its target into the head,
-//      which is exactly what the alarm counts;
-//   2. solver cost: warm vs cold iteration counts.
+//   1. ranking stability: source-level Kendall tau night-over-night
+//      (global order drifts slowly under organic growth) and a
+//      promotion alarm — the number of sources that jumped >= 30
+//      percentile points INTO the top 5%. Organic churn lives in the
+//      tie-heavy bottom of the ranking; night 4's link-hijack attack
+//      (compromised pages across many hosts all pointing at one
+//      attacker front page) promotes its target into the head, which
+//      is exactly what the alarm counts;
+//   2. maintenance cost: dirty rows and pushes per night — the
+//      incremental contract is that a small crawl delta costs a
+//      neighborhood of pushes, never a full re-solve (the Path column
+//      staying "delta").
 #include <algorithm>
-#include <cmath>
 #include <iostream>
+#include <string>
+#include <vector>
 
-#include "core/srsr.hpp"
+#include "core/source_map.hpp"
 #include "graph/webgen.hpp"
 #include "metrics/ranking.hpp"
-#include "rank/pagerank.hpp"
-#include "spam/attacks.hpp"
+#include "stream/dynamic_graph.hpp"
+#include "stream/edge_stream.hpp"
+#include "stream/incremental.hpp"
+#include "util/rng.hpp"
 #include "util/table.hpp"
 
 int main() {
@@ -31,72 +41,86 @@ int main() {
   cfg.num_sources = 2000;
   cfg.num_spam_sources = 0;
   cfg.seed = 31337;
-  graph::WebCorpus crawl = graph::generate_web_corpus(cfg);
-  std::cout << "night 0: " << crawl.num_pages() << " pages, "
-            << crawl.pages.num_edges() << " links\n";
+  const graph::WebCorpus crawl = graph::generate_web_corpus(cfg);
+  std::cout << "night 0: " << crawl.num_sources() << " sources, "
+            << crawl.num_pages() << " pages, " << crawl.pages.num_edges()
+            << " links\n";
 
-  rank::PageRankConfig pr_cfg;
-  pr_cfg.convergence.tolerance = 1e-9;
-  auto ranks = rank::pagerank(crawl.pages, pr_cfg);
+  const core::SourceMap map(crawl.page_source);
+  stream::DynamicSourceGraph graph(crawl.pages, map, crawl.source_hosts);
+  stream::IncrementalConfig rcfg;
+  rcfg.epsilon = 1e-12;
+  stream::IncrementalRanker ranker(graph, rcfg);
+  stream::EdgeStream stream(graph.num_pages());
 
+  std::vector<f64> sigma = ranker.sigma();
   Pcg32 rng(42);
-  TextTable t({"Night", "Pages", "Cold iters", "Warm iters",
-               "Kendall tau vs prev", "Promotion alarms", "Note"});
+  TextTable t({"Night", "Sources", "Mutations", "Dirty rows", "Path",
+               "Pushes", "Kendall tau", "Alarms", "Note"});
 
   for (int night = 1; night <= 5; ++night) {
-    // Organic growth: ~1% new pages appended to random sources, each
-    // linking to a couple of existing pages.
-    const u32 new_pages = crawl.num_pages() / 100;
-    graph::WebCorpus grown = crawl;
+    // Organic growth: ~0.1% new pages appended to random existing hosts,
+    // each cross-linked with its host and pointing at a couple of
+    // existing pages elsewhere.
+    const u32 new_pages = stream.num_pages() / 1000;
     for (u32 i = 0; i < new_pages; ++i) {
-      const NodeId src = rng.next_below(grown.num_sources());
-      const NodeId page = grown.source_first_page[src];
-      grown = spam::add_intra_source_farm(grown, page, 1);
+      const NodeId src = rng.next_below(crawl.num_sources());
+      const NodeId page = stream.add_page(crawl.source_hosts[src]);
+      stream.insert_link(crawl.source_first_page[src], page);
+      stream.insert_link(page, crawl.source_first_page[src]);
+      stream.insert_link(page, rng.next_below(crawl.num_pages()));
+      stream.insert_link(page, rng.next_below(crawl.num_pages()));
     }
     std::string note = "organic growth";
     if (night == 4) {
-      // The attack night: a 500-page farm on one target.
-      grown = spam::add_intra_source_farm(
-          grown, grown.source_first_page[1500], 500);
-      note = "link-farm attack!";
+      // The attack night: 50 compromised hosts each get most of their
+      // pages hijacked to point at one attacker front page (a link
+      // hijack — the inter-source consensus pattern Sec. 5 throttling
+      // targets). Concentrated per host, so the batch stays small: 50
+      // dirty rows, yet the target gains real consensus weight.
+      const NodeId attacker_front = crawl.source_first_page[1500];
+      const auto hosts =
+          sample_without_replacement(rng, crawl.num_sources(), 50);
+      for (const u32 src : hosts) {
+        const u32 pages = std::min<u32>(crawl.source_page_count[src], 15);
+        for (u32 i = 0; i < pages; ++i)
+          stream.insert_link(crawl.source_first_page[src] + i,
+                             attacker_front);
+      }
+      note = "link-hijack attack!";
     }
 
-    const auto cold = rank::pagerank(grown.pages, pr_cfg);
-    rank::PageRankConfig warm_cfg = pr_cfg;
-    std::vector<f64> init = ranks.scores;
-    init.resize(grown.pages.num_nodes(), 1e-12);
-    warm_cfg.initial = std::move(init);
-    const auto warm = rank::pagerank(grown.pages, warm_cfg);
+    const auto outcome = ranker.apply(stream.commit());
+    const std::vector<f64> cur = ranker.sigma();
 
-    // Stability of the persistent pages' relative order.
-    const std::size_t overlap = ranks.scores.size();
-    const std::vector<f64> prev(ranks.scores.begin(),
-                                ranks.scores.begin() + overlap);
-    const std::vector<f64> cur(warm.scores.begin(),
-                               warm.scores.begin() + overlap);
-    const f64 tau = metrics::kendall_tau(prev, cur);
-    // Promotion alarm: pages that jumped >= 30 percentile points into
-    // the top 5% overnight. (O(n log n) via shared rank vectors.)
-    const auto rank_prev = metrics::ranks_by_score(prev);
+    // Stability of the source order (the source set is stable here:
+    // growth lands on existing hosts).
+    const f64 tau = metrics::kendall_tau(sigma, cur);
+    // Promotion alarm: sources that jumped >= 30 percentile points
+    // into the top 5% overnight. (O(n log n) via shared rank vectors.)
+    const auto rank_prev = metrics::ranks_by_score(sigma);
     const auto rank_cur = metrics::ranks_by_score(cur);
-    const f64 n_pages = static_cast<f64>(overlap);
+    const f64 n = static_cast<f64>(sigma.size());
     u32 alarms = 0;
-    for (std::size_t i = 0; i < overlap; ++i) {
-      const f64 pct_prev = 100.0 * (1.0 - static_cast<f64>(rank_prev[i]) / n_pages);
-      const f64 pct_cur = 100.0 * (1.0 - static_cast<f64>(rank_cur[i]) / n_pages);
+    for (std::size_t i = 0; i < sigma.size(); ++i) {
+      const f64 pct_prev =
+          100.0 * (1.0 - static_cast<f64>(rank_prev[i]) / n);
+      const f64 pct_cur = 100.0 * (1.0 - static_cast<f64>(rank_cur[i]) / n);
       if (pct_cur >= 95.0 && pct_cur - pct_prev >= 30.0) ++alarms;
     }
 
-    t.add_row({std::to_string(night), TextTable::num(grown.num_pages()),
-               TextTable::num(cold.iterations), TextTable::num(warm.iterations),
-               TextTable::fixed(tau, 4), TextTable::num(alarms), note});
-    crawl = std::move(grown);
-    ranks = warm;
+    t.add_row({std::to_string(night), TextTable::num(ranker.num_sources()),
+               TextTable::num(outcome.mutations),
+               TextTable::num(outcome.dirty_rows),
+               stream::to_string(outcome.path),
+               TextTable::num(outcome.pushes), TextTable::fixed(tau, 4),
+               TextTable::num(alarms), note});
+    sigma = std::move(cur);
   }
-  std::cout << t.render("Nightly re-ranking with warm starts");
-  std::cout << "\nWarm starts track the slowly-moving fixed point at a "
-               "fraction of the\ncold-start cost; the promotion alarm on "
-               "night 4 is the attack showing\nup in the stability "
-               "monitor.\n";
+  std::cout << t.render("Nightly crawl deltas through the stream subsystem");
+  std::cout << "\nEvery night publishes through the warm delta path — dirty "
+               "rows and\npushes stay proportional to the crawl delta, not "
+               "the corpus. The\npromotion alarm on night 4 is the hijack "
+               "showing up in the stability\nmonitor.\n";
   return 0;
 }

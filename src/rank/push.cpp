@@ -33,7 +33,8 @@ std::vector<f64> make_teleport(const PushConfig& config, NodeId n) {
 /// spans for a matrix, on-the-fly weights for a view.
 template <typename RowFn>
 PushResult run_push(NodeId n, const PushConfig& config, std::vector<f64> p,
-                    std::vector<f64> r, RowFn&& row_of) {
+                    std::vector<f64> r, RowFn&& row_of,
+                    std::vector<f64>* residual_out = nullptr) {
   SRSR_CHECK(std::isfinite(config.alpha) && config.alpha >= 0.0 &&
                  config.alpha < 1.0,
              "push: alpha = ", config.alpha, ", must be in [0, 1)");
@@ -99,18 +100,23 @@ PushResult run_push(NodeId n, const PushConfig& config, std::vector<f64> p,
     trace->on_iteration({sweeps + 1, result.max_residual, result.max_residual,
                          timer.seconds()});
 
-  // Tiny negative leftovers can survive signed pushes (bounded by the
-  // residual tolerance); clamp before normalizing to a distribution.
-  f64 sum = 0.0;
-  for (f64& v : p) {
-    if (v < 0.0) v = 0.0;
-    sum += v;
+  if (residual_out) *residual_out = std::move(r);
+
+  if (config.normalize) {
+    // Tiny negative leftovers can survive signed pushes (bounded by the
+    // residual tolerance); clamp before normalizing to a distribution.
+    f64 sum = 0.0;
+    for (f64& v : p) {
+      if (v < 0.0) v = 0.0;
+      sum += v;
+    }
+    if (sum > 0.0)
+      for (f64& v : p) v /= sum;
   }
-  if (sum > 0.0)
-    for (f64& v : p) v /= sum;
   result.scores = std::move(p);
-  SRSR_DEBUG_VALIDATE(
-      validate_probability_vector(result.scores, 1e-6, "push output"));
+  if (config.normalize)
+    SRSR_DEBUG_VALIDATE(
+        validate_probability_vector(result.scores, 1e-6, "push output"));
   result.seconds = timer.seconds();
   if (obs::metrics_enabled()) {
     auto& reg = obs::MetricsRegistry::instance();
@@ -208,6 +214,22 @@ PushResult push_update(const TransitionOperator& op, const PushConfig& config,
   return run_push(n, config, std::move(p), std::move(r), [&](NodeId u) {
     return op.row(u, cols_scratch, weights_scratch);
   });
+}
+
+PushResult push_continue(const TransitionOperator& op,
+                         const PushConfig& config, std::vector<f64> estimate,
+                         std::vector<f64> residual,
+                         std::vector<f64>* residual_out) {
+  const NodeId n = op.num_rows();
+  SRSR_CHECK(estimate.size() == n && residual.size() == n,
+             "push_continue: state size mismatch (", estimate.size(), " / ",
+             residual.size(), " entries, ", n, " rows)");
+  std::vector<NodeId> cols_scratch;
+  std::vector<f64> weights_scratch;
+  return run_push(
+      n, config, std::move(estimate), std::move(residual),
+      [&](NodeId u) { return op.row(u, cols_scratch, weights_scratch); },
+      residual_out);
 }
 
 }  // namespace srsr::rank

@@ -52,6 +52,13 @@ struct PushConfig {
   /// Teleport / seed distribution c; uniform when absent. A sparse c
   /// (e.g. one source) makes the solve local.
   std::optional<std::vector<f64>> teleport;
+  /// Clamp tiny negative leftovers and L1-normalize the scores on exit
+  /// (the solver output contract). The incremental ranker turns this
+  /// off: it carries the RAW estimate across batches, and with deficit
+  /// rows (teleport-discard throttling) the normalized vector does not
+  /// satisfy the linear system — re-seeding from it would inject a
+  /// dense spurious defect.
+  bool normalize = true;
   /// Optional trace hook (non-owning). Push has no sweep structure, so
   /// the contract differs from the power-style solvers: one record per
   /// num_rows() pushes — a sweep-equivalent — with the magnitude of the
@@ -61,7 +68,7 @@ struct PushConfig {
 };
 
 struct PushResult {
-  std::vector<f64> scores;  // L1-normalized
+  std::vector<f64> scores;  // L1-normalized (raw when !config.normalize)
   u64 pushes = 0;           // total push operations performed
   u64 touched = 0;          // distinct nodes ever pushed
   f64 max_residual = 0.0;   // on exit
@@ -87,5 +94,19 @@ PushResult push_update(const StochasticMatrix& matrix,
 PushResult push_solve(const TransitionOperator& op, const PushConfig& config);
 PushResult push_update(const TransitionOperator& op, const PushConfig& config,
                        std::span<const f64> old_scores);
+
+/// Continues a push solve from EXPLICIT (estimate, residual) state —
+/// the incremental-maintenance entry point. The caller owns the
+/// invariant x = p + (1-alpha)(I - alpha*A^T)^{-1} r: after a sparse
+/// topology or plan edit it adjusts r by the signed row deltas and
+/// hands the pair back here; work is then proportional to the injected
+/// residual mass, not the graph. When `residual_out` is non-null the
+/// final residual vector is moved into it so the state can be carried
+/// into the next batch (pair with config.normalize = false — see the
+/// PushConfig field comment).
+PushResult push_continue(const TransitionOperator& op,
+                         const PushConfig& config, std::vector<f64> estimate,
+                         std::vector<f64> residual,
+                         std::vector<f64>* residual_out = nullptr);
 
 }  // namespace srsr::rank

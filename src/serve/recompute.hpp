@@ -15,6 +15,19 @@
 // updates are idempotent full recomputes, so intermediate states carry
 // no information.
 //
+// DYNAMIC MODE (the second constructor): instead of a static model the
+// pipeline owns write access to a stream::IncrementalRanker. Committed
+// stream::UpdateBatch topology deltas are enqueued with
+// submit_update(); the worker drains the WHOLE queue in submit order —
+// topology batches are NOT last-wins coalescible (each moves the graph)
+// — applies every update (kappa changes route through set_kappa, label
+// updates walk the ranker's current topology), and folds the drained
+// run into ONE publish (the fold is counted in coalesced_batches).
+// Every publish is warm: the ranker carries its push state across
+// batches, so a single-host edit republishes after a localized push
+// instead of a full solve. A failed run keeps the old epoch live, like
+// the static path.
+//
 // One worker thread, started in the constructor, joined in stop() /
 // the destructor. This and util/parallel.hpp are the only places in
 // the library allowed to spawn threads (tools/lint/srsr_lint.py
@@ -36,6 +49,8 @@
 #include "serve/shard_exec.hpp"
 #include "serve/snapshot.hpp"
 #include "serve/store.hpp"
+#include "stream/edge_stream.hpp"
+#include "stream/incremental.hpp"
 #include "util/common.hpp"
 
 namespace srsr::serve {
@@ -70,6 +85,13 @@ class RecomputePipeline {
   RecomputePipeline(const core::SpamResilientSourceRank& model,
                     std::vector<std::string> hosts, SnapshotStore& store,
                     RecomputeConfig config = {});
+
+  /// Dynamic mode: the pipeline becomes the single writer of `ranker`
+  /// (and its DynamicSourceGraph). Both must outlive the pipeline;
+  /// hosts are read from the ranker's graph at every publish (the host
+  /// set can grow). Sharded options in `config` are ignored.
+  RecomputePipeline(stream::IncrementalRanker& ranker, SnapshotStore& store,
+                    RecomputeConfig config = {});
   ~RecomputePipeline();
 
   RecomputePipeline(const RecomputePipeline&) = delete;
@@ -83,6 +105,11 @@ class RecomputePipeline {
   /// throttles the top_k most proximate sources (the paper's Sec. 6.2
   /// policy).
   void submit_spam_labels(std::vector<NodeId> source_seeds, u32 top_k);
+
+  /// Dynamic mode only: enqueues a committed topology batch. Batches
+  /// are applied strictly in submit order; runs drained together fold
+  /// into one publish.
+  void submit_update(stream::UpdateBatch batch);
 
   /// Blocks until the queue is empty and no solve is in flight.
   void drain();
@@ -106,6 +133,17 @@ class RecomputePipeline {
     u32 last_dirty_shards = 0;
     u64 last_shard_updates = 0;
     u32 last_rounds = 0;
+    /// Updates waiting in the queue right now (sampled by stats()).
+    u64 queue_depth = 0;
+    /// Dynamic mode: updates folded into a shared publish (the drained
+    /// run minus the one publish it produced).
+    u64 coalesced_batches = 0;
+    /// Dynamic mode: page mutations that changed graph state, total.
+    u64 mutations_applied = 0;
+    /// Dynamic mode: the last publish's solve footprint.
+    u64 last_pushes = 0;
+    u64 last_dirty_rows = 0;
+    std::string last_path;  // "delta" | "full" | "fallback"; empty = static
   };
   Stats stats() const;
 
@@ -124,12 +162,17 @@ class RecomputePipeline {
   /// "serve.last_error" when a solve has failed).
   void report_into(obs::RunReport& report) const;
 
+  /// True when constructed over an IncrementalRanker.
+  bool dynamic() const { return ranker_ != nullptr; }
+
  private:
   struct Update {
     std::vector<f64> kappa;        // direct kappa update
     std::vector<NodeId> seeds;     // label update (kappa derived)
     u32 top_k = 0;
     bool from_seeds = false;
+    stream::UpdateBatch batch;     // dynamic mode: topology delta
+    bool topology = false;
     std::string policy;
     /// Submitter's span context, captured at submit() time — the
     /// explicit hand-off that parents the worker's recompute span to
@@ -139,16 +182,23 @@ class RecomputePipeline {
 
   void worker_loop();
   void solve_and_publish(const Update& update);
+  /// Dynamic worker: applies a drained run of updates in order through
+  /// the ranker, then publishes once.
+  void apply_and_publish(const std::vector<Update>& updates);
   /// Diffs `kappa` against the policy of the live sigma and returns a
   /// per-shard dirty mask, or an empty vector when a full solve is
   /// required (first publish, cold start, size change). Worker only.
   std::vector<u8> dirty_mask(std::span<const f64> kappa,
                              bool warm) const;
 
-  const core::SpamResilientSourceRank* model_;
+  const core::SpamResilientSourceRank* model_;  // null in dynamic mode
+  stream::IncrementalRanker* ranker_ = nullptr;  // null in static mode
   std::vector<std::string> hosts_;
   SnapshotStore* store_;
   RecomputeConfig config_;
+  /// Dynamic mode, worker only: policy label of the last kappa-bearing
+  /// update, stamped into every publish's meta.
+  std::string applied_policy_ = "uniform_zero";
   /// Engaged for sharded models with shard_workers > 0; handed to
   /// every sharded solve.
   std::optional<ShardWorkerPool> pool_;

@@ -1,0 +1,62 @@
+#include "stream/edge_stream.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace srsr::stream {
+
+EdgeStream::EdgeStream(NodeId num_pages) : base_pages_(num_pages) {}
+
+void EdgeStream::stage_link(MutationKind kind, NodeId u, NodeId v) {
+  SRSR_CHECK(u < num_pages() && v < num_pages(),
+             "EdgeStream: link (", u, " -> ", v, ") references a page "
+             "outside the id space [0, ", num_pages(), ")");
+  const auto key = std::make_pair(u, v);
+  const auto it = link_index_.find(key);
+  if (it != link_index_.end()) {
+    // Last-op-wins in place: only the final op on an edge is observable,
+    // and keeping the first staging position preserves order relative
+    // to page additions.
+    staged_[it->second].kind = kind;
+    return;
+  }
+  link_index_.emplace(key, staged_.size());
+  Mutation m;
+  m.kind = kind;
+  m.u = u;
+  m.v = v;
+  staged_.push_back(std::move(m));
+}
+
+void EdgeStream::insert_link(NodeId u, NodeId v) {
+  stage_link(MutationKind::kInsertLink, u, v);
+}
+
+void EdgeStream::erase_link(NodeId u, NodeId v) {
+  stage_link(MutationKind::kEraseLink, u, v);
+}
+
+NodeId EdgeStream::add_page(const std::string& host) {
+  SRSR_CHECK(!host.empty(), "EdgeStream: add_page needs a host name");
+  const NodeId id = num_pages();
+  Mutation m;
+  m.kind = MutationKind::kAddPage;
+  m.host = host;
+  staged_.push_back(std::move(m));
+  ++staged_pages_;
+  return id;
+}
+
+UpdateBatch EdgeStream::commit() {
+  UpdateBatch batch;
+  batch.mutations = std::move(staged_);
+  batch.sequence = next_sequence_++;
+  staged_.clear();
+  link_index_.clear();
+  base_pages_ += static_cast<NodeId>(staged_pages_);
+  staged_pages_ = 0;
+  return batch;
+}
+
+}  // namespace srsr::stream

@@ -1,0 +1,102 @@
+// EdgeStream — the ingest side of the dynamic-update subsystem.
+//
+// A continuous crawl emits page-level events: a link appeared, a link
+// vanished, a page was discovered. EdgeStream stages those events,
+// validates them against the page id space it tracks, and coalesces
+// them into an UpdateBatch on commit():
+//
+//   - link mutations coalesce LAST-OP-WINS per (u, v) pair: each op
+//     overwrites the presence of one edge, so only the final op of a
+//     batch is observable and replaying just it is equivalent to
+//     replaying the whole sequence;
+//   - page additions keep their staging order, so the provisional page
+//     ids handed back by add_page() (base + staged count) stay valid
+//     when the batch is applied in sequence.
+//
+// Threading contract: an EdgeStream is a SINGLE-WRITER staging buffer
+// (typically owned by the request loop). Committed batches are plain
+// values and may cross threads freely — serve::RecomputePipeline's
+// worker applies them in submit order.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace srsr::stream {
+
+enum class MutationKind {
+  kInsertLink,  // page u now links to page v
+  kEraseLink,   // page u no longer links to page v
+  kAddPage,     // a new page of `host` was discovered (no out-links yet)
+};
+
+struct Mutation {
+  MutationKind kind = MutationKind::kInsertLink;
+  NodeId u = kInvalidNode;  // link origin page (link ops)
+  NodeId v = kInvalidNode;  // link target page (link ops)
+  std::string host;         // owning host (kAddPage only)
+};
+
+/// One committed batch: coalesced mutations in application order plus
+/// the stream's monotone sequence number.
+struct UpdateBatch {
+  std::vector<Mutation> mutations;
+  u64 sequence = 0;
+
+  bool empty() const { return mutations.empty(); }
+  std::size_t size() const { return mutations.size(); }
+};
+
+class EdgeStream {
+ public:
+  /// `num_pages` is the id space the first batch will be applied
+  /// against (DynamicSourceGraph::num_pages() at hookup time).
+  explicit EdgeStream(NodeId num_pages);
+
+  /// Pages visible to staging: the base id space plus pages staged but
+  /// not yet committed.
+  NodeId num_pages() const {
+    return base_pages_ + static_cast<NodeId>(staged_pages_);
+  }
+
+  /// Stages u -> v. Inserting an edge that already exists is a no-op at
+  /// apply time (counted, not an error): crawls re-see links constantly.
+  void insert_link(NodeId u, NodeId v);
+
+  /// Stages removal of u -> v (no-op at apply time when absent).
+  void erase_link(NodeId u, NodeId v);
+
+  /// Stages a new page of `host` and returns its provisional id. The id
+  /// becomes real when the batch is applied; link mutations staged
+  /// after it may already reference it. A host unknown to the graph
+  /// creates a new source on apply.
+  NodeId add_page(const std::string& host);
+
+  /// Mutations staged since the last commit.
+  std::size_t pending() const { return staged_.size(); }
+
+  /// Seals the staged mutations into a batch (stamping the sequence
+  /// number), clears the staging buffer, and advances the base id space
+  /// past the staged pages. Committing with nothing staged yields an
+  /// empty batch (valid, applies as a no-op).
+  UpdateBatch commit();
+
+ private:
+  void stage_link(MutationKind kind, NodeId u, NodeId v);
+
+  NodeId base_pages_;
+  std::size_t staged_pages_ = 0;
+  u64 next_sequence_ = 1;
+  std::vector<Mutation> staged_;
+  /// (u, v) -> index into staged_ for last-op-wins coalescing. Ordered
+  /// map on purpose: iteration order is part of no contract today, but
+  /// the stream feeds the deterministic sigma path and stays hash-free.
+  std::map<std::pair<NodeId, NodeId>, std::size_t> link_index_;
+};
+
+}  // namespace srsr::stream

@@ -1,0 +1,310 @@
+#include "stream/incremental.hpp"
+
+#include <cmath>
+#include <cstddef>
+#include <utility>
+
+#include "rank/operator.hpp"
+#include "util/check.hpp"
+#include "util/timer.hpp"
+
+namespace srsr::stream {
+
+namespace {
+
+/// TransitionOperator over the dynamic row store + current throttle
+/// plan: T'' entries computed on read, nothing materialized, nothing
+/// owned. Rebound (cheaply) after every plan swap.
+class DynamicOperator final : public rank::TransitionOperator {
+ public:
+  DynamicOperator(const DynamicSourceGraph& graph,
+                  const rank::RowAffinePlan& plan)
+      : graph_(&graph), plan_(&plan) {}
+
+  NodeId num_rows() const override { return graph_->num_sources(); }
+  u64 num_entries() const override { return graph_->row_entries(); }
+  const std::vector<f64>& deficits() const override { return plan_->deficit; }
+
+  void pull(std::span<const f64> x, std::span<f64> y) const override {
+    const NodeId n = num_rows();
+    SRSR_CHECK(x.size() == n && y.size() == n,
+               "DynamicOperator::pull: size mismatch");
+    for (f64& v : y) v = 0.0;
+    for (NodeId u = 0; u < n; ++u) {
+      const f64 xu = x[u];
+      if (xu == 0.0) continue;
+      const auto cs = graph_->row_cols(u);
+      const auto ws = graph_->row_weights(u);
+      for (std::size_t i = 0; i < cs.size(); ++i)
+        y[cs[i]] += xu * (cs[i] == u ? plan_->diagonal[u]
+                                     : plan_->off_scale[u] * ws[i]);
+    }
+  }
+
+  f64 pull_off_diagonal(NodeId v, std::span<const f64> x) const override {
+    SRSR_CHECK(v < num_rows() && x.size() == num_rows(),
+               "DynamicOperator::pull_off_diagonal: size mismatch");
+    // Column access without a transpose: O(E) scan. The stream path
+    // never runs Gauss-Seidel; this exists to satisfy the interface
+    // honestly, not to be fast.
+    f64 acc = 0.0;
+    const NodeId n = num_rows();
+    for (NodeId u = 0; u < n; ++u) {
+      if (u == v) continue;
+      const f64 xu = x[u];
+      if (xu == 0.0) continue;
+      const auto cs = graph_->row_cols(u);
+      const auto ws = graph_->row_weights(u);
+      for (std::size_t i = 0; i < cs.size(); ++i)
+        if (cs[i] == v) acc += xu * plan_->off_scale[u] * ws[i];
+    }
+    return acc;
+  }
+
+  f64 diagonal(NodeId v) const override { return plan_->diagonal[v]; }
+
+  rank::OperatorRow row(NodeId u, std::vector<NodeId>& cols_scratch,
+                        std::vector<f64>& weights_scratch) const override {
+    (void)cols_scratch;  // columns served straight from the row store
+    const auto cs = graph_->row_cols(u);
+    const auto ws = graph_->row_weights(u);
+    weights_scratch.resize(cs.size());
+    for (std::size_t i = 0; i < cs.size(); ++i)
+      weights_scratch[i] =
+          cs[i] == u ? plan_->diagonal[u] : plan_->off_scale[u] * ws[i];
+    return {cs, weights_scratch};
+  }
+
+  u64 memory_bytes() const override { return 0; }  // non-owning view
+
+ private:
+  const DynamicSourceGraph* graph_;
+  const rank::RowAffinePlan* plan_;
+};
+
+}  // namespace
+
+const char* to_string(UpdatePath path) {
+  switch (path) {
+    case UpdatePath::kDelta:
+      return "delta";
+    case UpdatePath::kFull:
+      return "full";
+    case UpdatePath::kFallback:
+      return "fallback";
+  }
+  return "unknown";
+}
+
+IncrementalRanker::IncrementalRanker(DynamicSourceGraph& graph,
+                                     IncrementalConfig config)
+    : graph_(&graph), config_(config) {
+  SRSR_CHECK(std::isfinite(config.alpha) && config.alpha >= 0.0 &&
+                 config.alpha < 1.0,
+             "IncrementalRanker: alpha = ", config.alpha,
+             ", must be in [0, 1)");
+  SRSR_CHECK(std::isfinite(config.epsilon) && config.epsilon > 0.0,
+             "IncrementalRanker: epsilon must be positive and finite");
+  SRSR_CHECK(std::isfinite(config.full_mass_threshold) &&
+                 config.full_mass_threshold > 0.0,
+             "IncrementalRanker: full_mass_threshold must be positive");
+  const u32 ns = graph.num_sources();
+  SRSR_CHECK(ns > 0, "IncrementalRanker: graph has no sources");
+  WallTimer timer;
+  kappa_.assign(ns, 0.0);
+  plan_ = core::make_throttle_plan(graph.row_stats(), kappa_, config_.mode);
+  seed_cold();
+  // Initial seed mass is ||c||_1 = 1 > any sane threshold: the decision
+  // rule itself routes the constructor through the cold full path.
+  UpdateOutcome outcome = solve(UpdateOutcome{});
+  outcome.seconds = timer.seconds();
+  last_outcome_ = outcome;
+}
+
+void IncrementalRanker::seed_cold() {
+  const u32 ns = graph_->num_sources();
+  p_.assign(ns, 0.0);
+  r_.assign(ns, 1.0 / static_cast<f64>(ns));
+}
+
+void IncrementalRanker::grow_state(u32 old_sources) {
+  const u32 ns = graph_->num_sources();
+  if (ns == old_sources) return;
+  SRSR_CHECK(ns > old_sources,
+             "IncrementalRanker: source id space shrank (", old_sources,
+             " -> ", ns, ") — sources are append-only");
+  kappa_.resize(ns, 0.0);
+  p_.resize(ns, 0.0);
+  // The uniform teleport c is 1/n: growing n shifts every old entry of
+  // the exact residual r = (alpha*A^T p + (1-alpha)c - p)/(1-alpha) by
+  // the c delta, and seeds each new entry at its full teleport share
+  // (p and A^T p are zero there until a dirty row links in).
+  const f64 c_new = 1.0 / static_cast<f64>(ns);
+  const f64 shift = c_new - 1.0 / static_cast<f64>(old_sources);
+  for (u32 i = 0; i < old_sources; ++i) r_[i] += shift;
+  r_.resize(ns, c_new);
+}
+
+void IncrementalRanker::inject_row(NodeId row, std::span<const NodeId> cols,
+                                   std::span<const f64> weights,
+                                   const rank::RowAffinePlan& plan, f64 sign) {
+  const f64 pu = p_[row];
+  if (pu == 0.0) return;
+  const f64 scale = sign * config_.alpha / (1.0 - config_.alpha) * pu;
+  const f64 off = plan.off_scale[row];
+  const f64 diag = plan.diagonal[row];
+  for (std::size_t i = 0; i < cols.size(); ++i) {
+    const f64 w = cols[i] == row ? diag : off * weights[i];
+    r_[cols[i]] += scale * w;
+  }
+}
+
+UpdateOutcome IncrementalRanker::solve(UpdateOutcome outcome) {
+  f64 seed_mass = 0.0;
+  for (const f64 v : r_) seed_mass += std::abs(v);
+  outcome.seed_mass = seed_mass;
+
+  const DynamicOperator op(*graph_, plan_);
+  rank::PushConfig push;
+  push.alpha = config_.alpha;
+  push.epsilon = config_.epsilon;
+  push.normalize = false;
+
+  bool need_cold = seed_mass > config_.full_mass_threshold;
+  outcome.path = need_cold ? UpdatePath::kFull : UpdatePath::kDelta;
+  rank::PushResult result;
+  std::vector<f64> residual;
+  if (!need_cold) {
+    const u64 n = graph_->num_sources();
+    // The cap is a stall safeguard, not a budget: signed push contracts
+    // ||r||_1 by at least (1-alpha)*epsilon per push, so a healthy
+    // delta never gets near it.
+    push.max_pushes = config_.max_delta_pushes != 0 ? config_.max_delta_pushes
+                                                    : 512 * n + 4096;
+    result = rank::push_continue(op, push, std::move(p_), std::move(r_),
+                                 &residual);
+    if (result.converged) {
+      p_ = std::move(result.scores);
+      r_ = std::move(residual);
+    } else {
+      // Residual stalled under the cap: the warm state is suspect —
+      // discard it and re-solve cold for correctness.
+      outcome.path = UpdatePath::kFallback;
+      outcome.pushes += result.pushes;
+      need_cold = true;
+    }
+  }
+  if (need_cold) {
+    seed_cold();
+    push.max_pushes = 0;
+    result = rank::push_continue(op, push, std::move(p_), std::move(r_),
+                                 &residual);
+    p_ = std::move(result.scores);
+    r_ = std::move(residual);
+  }
+  outcome.pushes += result.pushes;
+  outcome.touched = result.touched;
+  outcome.max_residual = result.max_residual;
+  outcome.converged = result.converged;
+  return outcome;
+}
+
+UpdateOutcome IncrementalRanker::apply(const UpdateBatch& batch) {
+  WallTimer timer;
+  if (batch.sequence != 0) {
+    SRSR_CHECK(batch.sequence > last_sequence_,
+               "IncrementalRanker: batch sequence ", batch.sequence,
+               " out of order (last applied ", last_sequence_, ")");
+  }
+  const u32 old_sources = num_sources();
+  DynamicSourceGraph::ApplyResult applied;
+  try {
+    applied = graph_->apply(batch);
+  }
+  catch (...) {
+    // The graph may hold a partial batch. Rebuild the ranker against
+    // whatever it now holds so (graph, sigma) stay consistent, then
+    // let the caller see the failure.
+    grow_state(old_sources);
+    plan_ =
+        core::make_throttle_plan(graph_->row_stats(), kappa_, config_.mode);
+    seed_cold();
+    UpdateOutcome outcome = solve(UpdateOutcome{});
+    outcome.seconds = timer.seconds();
+    last_outcome_ = outcome;
+    throw;
+  }
+  if (batch.sequence != 0) last_sequence_ = batch.sequence;
+
+  UpdateOutcome outcome;
+  outcome.dirty_rows = applied.dirty.size();
+  outcome.mutations = applied.applied;
+  outcome.noops = applied.noops;
+  outcome.new_sources = applied.new_sources;
+
+  // r' = r + alpha/(1-alpha) * (A' - A)^T p, assembled in four steps.
+  // 1. Grow (kappa, p, r) to the new id space; teleport-shift r.
+  grow_state(old_sources);
+  // 2. Subtract each dirty row's OLD contribution under the OLD plan
+  //    (rows born this batch have p = 0 and contribute nothing).
+  for (const DynamicSourceGraph::RowDelta& d : applied.dirty)
+    inject_row(d.row, d.old_cols, d.old_weights, plan_, -1.0);
+  // 3. Recompute the throttle plan against the repaired row stats.
+  //    Unchanged rows' plan entries are bitwise identical (the plan is
+  //    a deterministic per-row function of stats + kappa), so only the
+  //    dirty rows' contributions actually moved.
+  plan_ = core::make_throttle_plan(graph_->row_stats(), kappa_, config_.mode);
+  // 4. Add each dirty row's NEW contribution under the NEW plan.
+  for (const DynamicSourceGraph::RowDelta& d : applied.dirty)
+    inject_row(d.row, graph_->row_cols(d.row), graph_->row_weights(d.row),
+               plan_, 1.0);
+
+  outcome = solve(std::move(outcome));
+  outcome.seconds = timer.seconds();
+  last_outcome_ = outcome;
+  return outcome;
+}
+
+UpdateOutcome IncrementalRanker::set_kappa(std::span<const f64> kappa) {
+  WallTimer timer;
+  SRSR_CHECK(kappa.size() == num_sources(), "IncrementalRanker::set_kappa: ",
+             kappa.size(), " entries for ", num_sources(), " sources");
+  validate_kappa(kappa);
+  rank::RowAffinePlan next =
+      core::make_throttle_plan(graph_->row_stats(), kappa, config_.mode);
+
+  UpdateOutcome outcome;
+  // A plan change is a row delta with an unchanged sparsity pattern:
+  // subtract under the old per-row affine map, add under the new one,
+  // rows whose (off_scale, diagonal) pair is bitwise unchanged skipped.
+  const NodeId n = num_sources();
+  for (NodeId s = 0; s < n; ++s) {
+    const bool same = next.off_scale[s] == plan_.off_scale[s] &&
+                      next.diagonal[s] == plan_.diagonal[s];
+    if (same) continue;
+    inject_row(s, graph_->row_cols(s), graph_->row_weights(s), plan_, -1.0);
+    inject_row(s, graph_->row_cols(s), graph_->row_weights(s), next, 1.0);
+    ++outcome.dirty_rows;
+  }
+  kappa_.assign(kappa.begin(), kappa.end());
+  plan_ = std::move(next);
+
+  outcome = solve(std::move(outcome));
+  outcome.seconds = timer.seconds();
+  last_outcome_ = outcome;
+  return outcome;
+}
+
+std::vector<f64> IncrementalRanker::sigma() const {
+  std::vector<f64> out(p_);
+  f64 sum = 0.0;
+  for (f64& v : out) {
+    if (v < 0.0) v = 0.0;
+    sum += v;
+  }
+  if (sum > 0.0)
+    for (f64& v : out) v /= sum;
+  return out;
+}
+
+}  // namespace srsr::stream

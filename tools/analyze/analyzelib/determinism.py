@@ -32,7 +32,7 @@ from analyzelib.source import Context, FuncDef, PassResult, Violation
 PASS_NAME = "determinism"
 
 ENTRY_SIMPLE = {"rank", "rank_sharded"}
-ENTRY_QUAL_PREFIX = ("RecomputePipeline::",)
+ENTRY_QUAL_PREFIX = ("RecomputePipeline::", "IncrementalRanker::")
 
 # Modules / files whose function bodies are metadata-only: taint does
 # not propagate into them and their bodies are not scanned.

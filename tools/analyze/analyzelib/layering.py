@@ -27,7 +27,8 @@ ALLOWED: dict[str, list[str]] = {
     "analysis": ["util", "obs", "metrics"],
     "rank": ["util", "obs", "metrics", "graph"],
     "core": ["util", "obs", "metrics", "graph", "spam", "rank", "analysis"],
-    "serve": ["util", "obs", "metrics", "graph", "rank", "core"],
+    "stream": ["util", "obs", "metrics", "graph", "rank", "core"],
+    "serve": ["util", "obs", "metrics", "graph", "rank", "core", "stream"],
 }
 
 RE_INCLUDE = re.compile(r'^\s*#\s*include\s+"([^"]+)"')

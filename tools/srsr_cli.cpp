@@ -31,6 +31,7 @@
 //             solve wall times. With labels.txt the ramp throttles the
 //             spam-proximate sources; without it, every source.
 //   serve     --in DIR [--alpha A] [--topk K] [--mode absorb|discard]
+//             [--dynamic]
 //             Online ranking service: load the crawl, publish a
 //             baseline (kappa = 0) and a throttled snapshot, then
 //             answer line-oriented requests from stdin until EOF/quit
@@ -43,6 +44,15 @@
 //             info also reports the SLO and ranking-drift watchdogs;
 //             metrics dumps Prometheus text; tracefile writes collected
 //             spans as Perfetto trace JSON.
+//             With --dynamic the service runs on the stream subsystem
+//             (stream/incremental.hpp): sigma is maintained by an
+//             IncrementalRanker and page-level edge mutations can be
+//             staged and published without a full re-solve:
+//               update link U V | update unlink U V | update page HOST |
+//               update commit | update status
+//             commit seals the staged batch, routes it through the
+//             recompute worker (push-delta with cold fallback), and
+//             reports the publish path and push count.
 //
 // The crawl directory format is the library's text interchange:
 //   pages.txt   "<page-id> <url>" per line
@@ -53,6 +63,7 @@
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -74,6 +85,9 @@
 #include "serve/snapshot.hpp"
 #include "serve/store.hpp"
 #include "spam/attacks.hpp"
+#include "stream/dynamic_graph.hpp"
+#include "stream/edge_stream.hpp"
+#include "stream/incremental.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -445,13 +459,33 @@ int cmd_serve(const Args& args) {
   const auto crawl = load_crawl(in_dir);
   const auto& corpus = crawl.corpus;
   const core::SourceMap map(corpus.page_source);
+  const bool dynamic = args.has("dynamic");
+  check(!dynamic || !args.has("shards"),
+        "--dynamic is incompatible with --shards");
   core::SrsrConfig cfg;
   cfg.alpha = alpha;
   cfg.throttle_mode = mode_name == "absorb"
                           ? core::ThrottleMode::kSelfAbsorb
                           : core::ThrottleMode::kTeleportDiscard;
   apply_sharding(args, cfg);
-  const core::SpamResilientSourceRank model(corpus.pages, map, cfg);
+
+  // Static mode serves through a SpamResilientSourceRank model; dynamic
+  // mode through the stream subsystem (graph + always-warm ranker +
+  // main-thread staging stream). Exactly one side is engaged.
+  std::optional<core::SpamResilientSourceRank> model;
+  std::optional<stream::DynamicSourceGraph> dyn_graph;
+  std::optional<stream::IncrementalRanker> ranker;
+  std::optional<stream::EdgeStream> estream;
+  if (dynamic) {
+    dyn_graph.emplace(corpus.pages, map, corpus.source_hosts);
+    stream::IncrementalConfig icfg;
+    icfg.alpha = alpha;
+    icfg.mode = cfg.throttle_mode;
+    ranker.emplace(*dyn_graph, icfg);
+    estream.emplace(dyn_graph->num_pages());
+  } else {
+    model.emplace(corpus.pages, map, cfg);
+  }
 
   // Standing policy: fully throttle the top-k spam-proximate sources
   // when labels exist (Sec. 6.2), otherwise start unthrottled.
@@ -461,21 +495,35 @@ int cmd_serve(const Args& args) {
   if (!crawl.spam_seeds.empty()) {
     const u32 top_k = static_cast<u32>(
         args.get_u64("topk", 2 * crawl.spam_seeds.size()));
-    const auto prox = core::spam_proximity(model.source_graph().topology(),
-                                           crawl.spam_seeds);
+    const auto prox =
+        dynamic ? core::spam_proximity(dyn_graph->topology(),
+                                       crawl.spam_seeds)
+                : core::spam_proximity(model->source_graph().topology(),
+                                       crawl.spam_seeds);
     policy = core::kappa_top_k(prox.scores, top_k);
     policy_name = "top_" + std::to_string(top_k) + "_proximity";
   }
 
   serve::SnapshotStore store;
   // Fixed baseline (kappa = 0, cold solve): what compare() diffs
-  // against.
-  serve::SnapshotBuild baseline_build;
-  baseline_build.policy = "baseline";
-  const std::vector<f64> zeros(corpus.num_sources(), 0.0);
-  const auto baseline = std::make_shared<const serve::RankSnapshot>(
-      serve::make_snapshot(model, zeros, corpus.source_hosts,
-                           baseline_build));
+  // against. In dynamic mode the ranker's construction solve IS the
+  // kappa = 0 sigma.
+  std::shared_ptr<const serve::RankSnapshot> baseline;
+  if (dynamic) {
+    serve::SnapshotMeta bm;
+    bm.kappa_policy = "baseline";
+    bm.solver = "push";
+    bm.converged = ranker->last_outcome().converged;
+    baseline = std::make_shared<const serve::RankSnapshot>(
+        ranker->sigma(), dyn_graph->hosts(), std::move(bm));
+  } else {
+    serve::SnapshotBuild baseline_build;
+    baseline_build.policy = "baseline";
+    const std::vector<f64> zeros(corpus.num_sources(), 0.0);
+    baseline = std::make_shared<const serve::RankSnapshot>(
+        serve::make_snapshot(*model, zeros, corpus.source_hosts,
+                             baseline_build));
+  }
   // Watchdogs: every query's latency feeds the SLO monitor; every
   // publish is drift-checked against its predecessor (the first one
   // only establishes the baseline).
@@ -487,25 +535,30 @@ int cmd_serve(const Args& args) {
   recompute_cfg.drift = &drift;
   recompute_cfg.shard_workers =
       static_cast<u32>(args.get_u64("shard-workers", 0));
-  check(recompute_cfg.shard_workers == 0 || model.sharded(),
+  check(recompute_cfg.shard_workers == 0 ||
+            (!dynamic && model->sharded()),
         "--shard-workers needs --shards");
-  serve::RecomputePipeline pipeline(model, corpus.source_hosts, store,
-                                    recompute_cfg);
-  pipeline.submit(policy, policy_name);
-  pipeline.drain();
+  std::optional<serve::RecomputePipeline> pipeline;
+  if (dynamic)
+    pipeline.emplace(*ranker, store, recompute_cfg);
+  else
+    pipeline.emplace(*model, corpus.source_hosts, store, recompute_cfg);
+  pipeline->submit(policy, policy_name);
+  pipeline->drain();
   {
-    const auto st = pipeline.stats();
+    const auto st = pipeline->stats();
     check(st.published == 1, "serve: initial snapshot failed: " +
                                  st.last_error);
   }
   std::cout << "serve ready: " << corpus.num_sources() << " sources, epoch "
-            << store.epoch() << ", policy " << policy_name << '\n'
+            << store.epoch() << ", policy " << policy_name
+            << (dynamic ? ", dynamic" : "") << '\n'
             << std::flush;
 
   // Re-solves triggered by a request are awaited (drain) before the
   // response line, so a scripted session reads its own effects.
   auto report_publish = [&](u64 before_published, u64 before_failed) {
-    const auto st = pipeline.stats();
+    const auto st = pipeline->stats();
     if (st.published > before_published) {
       const auto snap = store.current();
       std::cout << "published epoch " << st.last_epoch << " ("
@@ -545,7 +598,15 @@ int cmd_serve(const Args& args) {
                   << '\n';
       } else if (req == "rank") {
         std::cout << host << " rank " << *engine.rank_of(*id) << " of "
-                  << corpus.num_sources() << '\n';
+                  << store.current()->num_sources() << '\n';
+      } else if (dynamic && store.current()->num_sources() !=
+                                baseline->num_sources()) {
+        // The kappa = 0 baseline predates this batch's source growth;
+        // a cross-size diff has no aligned id space.
+        std::cout << "err compare unavailable: sources grew from "
+                  << baseline->num_sources() << " to "
+                  << store.current()->num_sources()
+                  << " since the baseline\n";
       } else {
         const auto c = *engine.compare(*id);
         std::cout << host << " baseline " << TextTable::sci(c.baseline_score, 3)
@@ -560,11 +621,14 @@ int cmd_serve(const Args& args) {
       const f64 strength =
           strength_text.empty() ? 1.0 : parse_f64(strength_text);
       std::vector<f64> kappa(policy);
+      // Sources appended by stream updates are outside the standing
+      // policy: they ride along unthrottled.
+      if (dynamic) kappa.resize(store.current()->num_sources(), 0.0);
       for (f64& k : kappa) k *= strength;
-      const auto before = pipeline.stats();
-      pipeline.submit(std::move(kappa),
-                      policy_name + "*" + TextTable::fixed(strength, 2));
-      pipeline.drain();
+      const auto before = pipeline->stats();
+      pipeline->submit(std::move(kappa),
+                       policy_name + "*" + TextTable::fixed(strength, 2));
+      pipeline->drain();
       report_publish(before.published, before.failed);
     } else if (req == "labels") {
       std::vector<NodeId> seeds;
@@ -584,11 +648,11 @@ int cmd_serve(const Args& args) {
         std::cout << "err labels needs at least one host\n";
         continue;
       }
-      const auto before = pipeline.stats();
+      const auto before = pipeline->stats();
       const u32 top_k =
           static_cast<u32>(args.get_u64("topk", 2 * seeds.size()));
-      pipeline.submit_spam_labels(std::move(seeds), top_k);
-      pipeline.drain();
+      pipeline->submit_spam_labels(std::move(seeds), top_k);
+      pipeline->drain();
       report_publish(before.published, before.failed);
     } else if (req == "info") {
       const auto snap = store.current();
@@ -612,14 +676,23 @@ int cmd_serve(const Args& args) {
                 << TextTable::fixed(d.topk_churn, 2) << ", outliers "
                 << d.outliers << ", anomalies " << drift.anomalies()
                 << ", anomalous " << (d.anomalous ? "yes" : "no") << '\n';
-      if (model.sharded()) {
-        const auto st = pipeline.stats();
-        std::cout << "shards " << model.num_shards() << ", partition "
-                  << graph::partition_mode_name(model.shard_plan().mode())
+      if (dynamic) {
+        const auto st = pipeline->stats();
+        std::cout << "stream pages " << estream->num_pages() << ", sources "
+                  << snap->num_sources() << ", last_path "
+                  << (st.last_path.empty() ? "none" : st.last_path)
+                  << ", last_pushes " << st.last_pushes
+                  << ", last_dirty_rows " << st.last_dirty_rows
+                  << ", mutations " << st.mutations_applied << '\n';
+      }
+      if (!dynamic && model->sharded()) {
+        const auto st = pipeline->stats();
+        std::cout << "shards " << model->num_shards() << ", partition "
+                  << graph::partition_mode_name(model->shard_plan().mode())
                   << ", last_dirty " << st.last_dirty_shards
                   << ", last_updates " << st.last_shard_updates
                   << ", last_rounds " << st.last_rounds << '\n';
-        for (const auto& sh : pipeline.shard_status())
+        for (const auto& sh : pipeline->shard_status())
           std::cout << "shard " << sh.shard << " epoch " << sh.epoch
                     << " staleness "
                     << TextTable::fixed(sh.staleness_seconds, 1)
@@ -640,22 +713,95 @@ int cmd_serve(const Args& args) {
       obs::write_perfetto_trace(path, spans);
       std::cout << "wrote " << spans.size() << " spans to " << path << '\n';
     } else if (req == "stats") {
-      const auto st = pipeline.stats();
+      const auto st = pipeline->stats();
       std::cout << "published " << st.published << ", failed " << st.failed
                 << ", coalesced " << st.coalesced << ", epoch "
                 << st.last_epoch;
-      if (model.sharded())
-        std::cout << ", shards " << model.num_shards() << ", dirty "
+      if (dynamic)
+        std::cout << ", queue_depth " << st.queue_depth
+                  << ", coalesced_batches " << st.coalesced_batches
+                  << ", mutations " << st.mutations_applied << ", last_path "
+                  << (st.last_path.empty() ? "none" : st.last_path)
+                  << ", last_pushes " << st.last_pushes
+                  << ", last_dirty_rows " << st.last_dirty_rows;
+      if (!dynamic && model->sharded())
+        std::cout << ", shards " << model->num_shards() << ", dirty "
                   << st.last_dirty_shards << ", shard_updates "
                   << st.last_shard_updates;
       std::cout << '\n';
+    } else if (req == "update") {
+      if (!dynamic) {
+        std::cout << "err update needs --dynamic\n";
+        std::cout << std::flush;
+        continue;
+      }
+      std::string sub;
+      in >> sub;
+      try {
+        if (sub == "link" || sub == "unlink") {
+          u64 u = 0, v = 0;
+          if (!(in >> u >> v)) {
+            std::cout << "err update " << sub << " needs U V page ids\n";
+          } else {
+            if (sub == "link")
+              estream->insert_link(static_cast<NodeId>(u),
+                                   static_cast<NodeId>(v));
+            else
+              estream->erase_link(static_cast<NodeId>(u),
+                                  static_cast<NodeId>(v));
+            std::cout << "staged " << estream->pending() << " mutation(s)\n";
+          }
+        } else if (sub == "page") {
+          std::string host;
+          in >> host;
+          if (host.empty()) {
+            std::cout << "err update page needs a host name\n";
+          } else {
+            const NodeId id = estream->add_page(host);
+            std::cout << "staged page " << id << " host " << host << " ("
+                      << estream->pending() << " pending)\n";
+          }
+        } else if (sub == "status") {
+          const auto st = pipeline->stats();
+          std::cout << "pending " << estream->pending() << ", pages "
+                    << estream->num_pages() << ", sources "
+                    << store.current()->num_sources() << ", queue_depth "
+                    << st.queue_depth << '\n';
+        } else if (sub == "commit") {
+          auto batch = estream->commit();
+          const std::size_t mutations = batch.size();
+          const auto before = pipeline->stats();
+          pipeline->submit_update(std::move(batch));
+          pipeline->drain();
+          const auto st = pipeline->stats();
+          if (st.published > before.published) {
+            std::cout << "published epoch " << st.last_epoch << " ("
+                      << st.last_path << ", " << st.last_pushes
+                      << " pushes, " << st.last_dirty_rows << " dirty rows, "
+                      << (store.current()->meta().converged
+                              ? "converged"
+                              : "NOT converged")
+                      << ", " << mutations << " mutations)\n";
+          } else if (st.failed > before.failed) {
+            std::cout << "err update failed: " << st.last_error << '\n';
+          } else {
+            std::cout << "err update produced nothing\n";
+          }
+        } else {
+          std::cout << "err update supports link|unlink|page|commit|status\n";
+        }
+      } catch (const Error& e) {
+        // Out-of-range page ids and the like: staging rejected, the
+        // stream stays usable.
+        std::cout << "err " << e.what() << '\n';
+      }
     } else {
       std::cout << "err unknown request '" << req << "'\n";
     }
     std::cout << std::flush;
   }
 
-  pipeline.stop();
+  pipeline->stop();
   std::cout << "bye\n";
   return 0;
 }
@@ -750,10 +896,17 @@ void usage() {
       "           [--partition hash|scc] [--trace-out FILE]\n"
       "  serve    --in DIR [--alpha A] [--topk K] [--mode absorb|discard]\n"
       "           [--shards K] [--partition hash|scc] [--shard-workers N]\n"
-      "           [--metrics]   (requests on stdin: top K | score HOST |\n"
+      "           [--dynamic] [--metrics]\n"
+      "           (requests on stdin: top K | score HOST |\n"
       "           rank HOST | compare HOST | recompute S | labels HOST... |\n"
       "           info | stats | metrics | tracefile FILE | quit)\n"
       "\n"
+      "--dynamic serves from the stream subsystem: page-level edge\n"
+      "mutations are staged with `update link U V`, `update unlink U V`,\n"
+      "and `update page HOST`, then `update commit` re-derives the dirty\n"
+      "source rows and republishes sigma through a warm incremental push\n"
+      "(no full re-solve for localized edits); `update status` shows the\n"
+      "staging and publish state. Incompatible with --shards.\n"
       "--shards K partitions the source graph and solves per shard\n"
       "(--shards 1 is bit-identical to the monolithic path); serve then\n"
       "re-solves only the shards a policy change touches.\n"
